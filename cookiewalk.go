@@ -1,0 +1,248 @@
+// Package cookiewalk is an end-to-end reproduction of "Thou Shalt Not
+// Reject: Analyzing Accept-Or-Pay Cookie Banners on the Web" (Rasaii,
+// Gosain, Gasser — ACM IMC 2023).
+//
+// The package bundles three things:
+//
+//   - a deterministic synthetic web (45 222 target sites with cookie
+//     banners, cookiewalls, CMPs, SMPs and trackers) served over
+//     net/http — the offline substitute for the live Internet;
+//   - an emulated browser and the BannerClick-style detection pipeline
+//     (banner discovery across main DOM, iframes and shadow DOMs;
+//     accept/reject interaction; cookiewall classification by
+//     subscription words and currency-price combinations);
+//   - the paper's experiments: the eight-vantage-point landscape crawl
+//     (Table 1), category and pricing analyses (Figures 1-3), cookie
+//     comparisons (Figures 4-5), correlation analysis (Figure 6),
+//     detection accuracy (§3) and the ad-blocker bypass study (§4.5).
+//
+// Quickstart:
+//
+//	study := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02})
+//	rep, err := study.Analyze("Germany", study.CookiewallDomains()[0])
+//	fmt.Println(rep.BannerKind, rep.PriceEUR)
+//	text, _ := study.Report(cookiewalk.ExpTable1)
+//	fmt.Println(text)
+//
+// Scale 1 reproduces the paper's absolute numbers; smaller scales
+// shrink the filler web for fast experimentation while keeping the 280
+// cookiewall sites and every structural marginal intact.
+package cookiewalk
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"cookiewalk/internal/adblock"
+	"cookiewalk/internal/browser"
+	"cookiewalk/internal/core"
+	"cookiewalk/internal/dom"
+	"cookiewalk/internal/measure"
+	"cookiewalk/internal/report"
+	"cookiewalk/internal/synthweb"
+	"cookiewalk/internal/vantage"
+	"cookiewalk/internal/webfarm"
+)
+
+// Config parameterizes a Study.
+type Config struct {
+	// Seed drives every pseudo-random choice; identical seeds yield
+	// byte-identical universes and results.
+	Seed uint64
+	// Scale scales the filler web (default 1 = the paper's 45 222
+	// targets). The cookiewall population never scales.
+	Scale float64
+	// Reps is the repetition count for cookie measurements (default 5,
+	// as in the paper).
+	Reps int
+	// Workers bounds crawl parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// Study owns a generated universe and its measurement machinery.
+type Study struct {
+	cfg     Config
+	reg     *synthweb.Registry
+	farm    *webfarm.Farm
+	crawler *measure.Crawler
+
+	mu        sync.Mutex
+	landscape *measure.Landscape
+	fig4      *measure.Figure4
+}
+
+// New generates the synthetic web and wires up the crawler.
+func New(cfg Config) *Study {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 5
+	}
+	reg := synthweb.Generate(synthweb.Config{Seed: cfg.Seed, FillerScale: cfg.Scale})
+	farm := webfarm.New(reg)
+	crawler := measure.New(reg, farm.Transport())
+	crawler.Workers = cfg.Workers
+	return &Study{cfg: cfg, reg: reg, farm: farm, crawler: crawler}
+}
+
+// Targets returns the measurement target list (sorted domains).
+func (s *Study) Targets() []string { return s.reg.TargetList() }
+
+// VantagePoints returns the eight vantage point names in Table 1 order.
+func (s *Study) VantagePoints() []string {
+	var out []string
+	for _, vp := range vantage.All() {
+		out = append(out, vp.Name)
+	}
+	return out
+}
+
+// CookiewallDomains returns the ground-truth cookiewall sites on the
+// target list (for demos and spot checks; the detector never uses it).
+func (s *Study) CookiewallDomains() []string {
+	var out []string
+	for _, site := range s.reg.CookiewallSites() {
+		if len(site.Lists) > 0 {
+			out = append(out, site.Domain)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler returns the farm as an http.Handler, e.g. to serve the
+// synthetic web on a real port (see cmd/webfarm).
+func (s *Study) Handler() http.Handler { return s.farm }
+
+// Transport returns the in-process RoundTripper for custom crawls.
+func (s *Study) Transport() http.RoundTripper { return s.farm.Transport() }
+
+// Crawler exposes the measurement engine for advanced use (custom
+// experiments beyond the paper's).
+func (s *Study) Crawler() *measure.Crawler { return s.crawler }
+
+// SiteReport is the public per-site analysis result.
+type SiteReport struct {
+	Domain string
+	VP     string
+	// BannerKind is "none", "regular" or "cookiewall".
+	BannerKind string
+	// Embedding is "none", "main-dom", "iframe" or "shadow-dom".
+	Embedding string
+	// ShadowMode is "open"/"closed" for shadow embeddings.
+	ShadowMode string
+	HasAccept  bool
+	HasReject  bool
+	HasSub     bool
+	// MatchedWords are the §3 subscription-corpus hits.
+	MatchedWords []string
+	// PriceEUR is the normalized monthly subscription price (0 = none
+	// detected).
+	PriceEUR float64
+	// Language and Category are measured from page content.
+	Language string
+	Category string
+	// Blocked quirks (only meaningful with WithBlocker).
+	AdblockPlea  bool
+	ScrollLocked bool
+}
+
+// Analyze visits one site from a vantage point and classifies its
+// banner.
+func (s *Study) Analyze(vpName, domain string) (SiteReport, error) {
+	return s.analyze(vpName, domain, nil)
+}
+
+// AnalyzeWithBlocker is Analyze with the uBlock-style blocker enabled
+// (base + annoyances lists).
+func (s *Study) AnalyzeWithBlocker(vpName, domain string) (SiteReport, error) {
+	return s.analyze(vpName, domain, DefaultBlocker())
+}
+
+// DefaultBlocker returns the §4.5 filter engine: the default-on
+// tracker list plus the Annoyances cookiewall list.
+func DefaultBlocker() *adblock.Engine {
+	return adblock.NewEngine(adblock.BaseList(), adblock.AnnoyancesList())
+}
+
+func (s *Study) analyze(vpName, domain string, blocker *adblock.Engine) (SiteReport, error) {
+	vp, ok := vantage.ByName(vpName)
+	if !ok {
+		return SiteReport{}, fmt.Errorf("cookiewalk: unknown vantage point %q", vpName)
+	}
+	o := s.crawler.Visit(vp, domain, measure.VisitOpts{Blocker: blocker})
+	if o.Err != "" {
+		return SiteReport{}, fmt.Errorf("cookiewalk: visit %s: %s", domain, o.Err)
+	}
+	return SiteReport{
+		Domain:       o.Domain,
+		VP:           o.VP,
+		BannerKind:   o.Kind.String(),
+		Embedding:    o.Source.String(),
+		ShadowMode:   o.ShadowMode,
+		HasAccept:    o.HasAccept,
+		HasReject:    o.HasReject,
+		HasSub:       o.HasSub,
+		MatchedWords: o.MatchedWords,
+		PriceEUR:     o.MonthlyEUR,
+		Language:     o.Language,
+		Category:     o.Category,
+		AdblockPlea:  o.AdblockPlea,
+		ScrollLocked: o.ScrollLocked,
+	}, nil
+}
+
+// NewBrowser returns a fresh emulated browser session pointed at the
+// synthetic web, for custom interaction flows.
+func (s *Study) NewBrowser(vpName string) (*browser.Browser, error) {
+	vp, ok := vantage.ByName(vpName)
+	if !ok {
+		return nil, fmt.Errorf("cookiewalk: unknown vantage point %q", vpName)
+	}
+	return browser.New(s.farm.Transport(), vp), nil
+}
+
+// Screenshot renders the site's detected banner as an ASCII box — the
+// textual analogue of the paper's Appendix B screenshots.
+func (s *Study) Screenshot(vpName, domain string) (string, error) {
+	vp, ok := vantage.ByName(vpName)
+	if !ok {
+		return "", fmt.Errorf("cookiewalk: unknown vantage point %q", vpName)
+	}
+	b := browser.New(s.farm.Transport(), vp)
+	page, err := b.Open("https://" + domain + "/")
+	if err != nil {
+		return "", fmt.Errorf("cookiewalk: screenshot %s: %w", domain, err)
+	}
+	det := core.Detect(page.Doc)
+	if det.Kind == core.KindNone {
+		return report.BannerBox(domain, "no banner", "(no consent UI shown to this visitor)", nil), nil
+	}
+	var buttons []string
+	for _, btn := range []*dom.Node{det.AcceptButton, det.RejectButton, det.SubscribeButton} {
+		if btn != nil {
+			buttons = append(buttons, dom.NormalizeSpace(btn.Text()))
+		}
+	}
+	title := fmt.Sprintf("%s (via %s)", domain, det.Source)
+	return report.BannerBox(title, det.Kind.String(), det.Text, buttons), nil
+}
+
+// DetectInHTML runs the banner detector over raw HTML — the
+// library-as-a-tool entry point for analyzing arbitrary pages.
+func DetectInHTML(html string) SiteReport {
+	det := core.Detect(dom.Parse(html))
+	return SiteReport{
+		BannerKind:   det.Kind.String(),
+		Embedding:    det.Source.String(),
+		ShadowMode:   string(det.ShadowMode),
+		HasAccept:    det.AcceptButton != nil,
+		HasReject:    det.RejectButton != nil,
+		HasSub:       det.SubscribeButton != nil,
+		MatchedWords: det.MatchedWords,
+		PriceEUR:     det.MonthlyEUR,
+	}
+}

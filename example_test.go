@@ -1,0 +1,40 @@
+package cookiewalk_test
+
+import (
+	"fmt"
+
+	"cookiewalk"
+)
+
+// ExampleDetectInHTML classifies a hand-written accept-or-pay banner.
+func ExampleDetectInHTML() {
+	rep := cookiewalk.DetectInHTML(`<html><body>
+	  <div class="consent-layer" role="dialog" style="position:fixed;top:10%">
+	    <p>Mit Werbung weiterlesen oder werbefrei im Abo für nur 1,99 € pro Monat.
+	       Wenn Sie akzeptieren, verarbeiten wir Ihre Daten mit Cookies.</p>
+	    <button>Alle akzeptieren</button>
+	    <button>Jetzt abonnieren</button>
+	  </div></body></html>`)
+	fmt.Println(rep.BannerKind)
+	fmt.Println(rep.HasReject)
+	fmt.Printf("%.2f EUR\n", rep.PriceEUR)
+	fmt.Println(rep.MatchedWords)
+	// Output:
+	// cookiewall
+	// false
+	// 1.99 EUR
+	// [abo]
+}
+
+// ExampleDetectInHTML_regular shows a banner with a reject option.
+func ExampleDetectInHTML_regular() {
+	rep := cookiewalk.DetectInHTML(`<html><body>
+	  <div class="cookie-banner" role="dialog" style="position:fixed;bottom:0">
+	    <p>We and our partners use cookies to personalise content.</p>
+	    <button>Accept all</button>
+	    <button>Reject all</button>
+	  </div></body></html>`)
+	fmt.Println(rep.BannerKind, rep.HasAccept, rep.HasReject)
+	// Output:
+	// regular true true
+}

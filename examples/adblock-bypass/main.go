@@ -1,0 +1,38 @@
+// Adblock bypass: the §4.5 experiment. With uBlock-style filter lists
+// (tracker base list + the normally-disabled Annoyances list), 70% of
+// cookiewalls never materialize because their markup is delivered from
+// filter-listed SMP/CMP hosts. Locally-served walls and lesser-known
+// kits survive, and two sites fight back (anti-adblock plea,
+// scroll lock).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cookiewalk"
+)
+
+func main() {
+	study := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2})
+
+	text, err := study.Report(cookiewalk.ExpBypass)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(text)
+
+	// Show the mechanism on one blockable site.
+	for _, domain := range study.CookiewallDomains() {
+		plain, err1 := study.Analyze("Germany", domain)
+		blocked, err2 := study.AnalyzeWithBlocker("Germany", domain)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if plain.BannerKind == "cookiewall" && blocked.BannerKind == "none" {
+			fmt.Printf("\nexample: %s\n  without blocker: %s (%s)\n  with blocker:    %s\n",
+				domain, plain.BannerKind, plain.Embedding, blocked.BannerKind)
+			break
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: generate a (reduced) synthetic web, analyze one site,
+// and detect a cookiewall in raw HTML.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cookiewalk"
+)
+
+func main() {
+	// A small universe: every cookiewall-related number matches the
+	// paper, only the filler web shrinks.
+	study := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02})
+	fmt.Printf("synthetic web ready: %d target sites, %d vantage points\n",
+		len(study.Targets()), len(study.VantagePoints()))
+
+	// Analyze a known cookiewall site from Germany.
+	domain := study.CookiewallDomains()[0]
+	rep, err := study.Analyze("Germany", domain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s (from Germany):\n", domain)
+	fmt.Printf("  banner     = %s (embedded in %s %s)\n", rep.BannerKind, rep.Embedding, rep.ShadowMode)
+	fmt.Printf("  buttons    = accept:%v reject:%v subscribe:%v\n", rep.HasAccept, rep.HasReject, rep.HasSub)
+	fmt.Printf("  price      = %.2f EUR/month, corpus hits %v\n", rep.PriceEUR, rep.MatchedWords)
+	fmt.Printf("  language   = %s, category = %q\n", rep.Language, rep.Category)
+
+	// The same site from a vantage point it may geo-target differently.
+	repUS, err := study.Analyze("US East", domain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  from US East the banner is: %s\n", repUS.BannerKind)
+
+	// The detector also works on arbitrary HTML.
+	raw := cookiewalk.DetectInHTML(`<html><body>
+	  <div class="consent-layer" role="dialog" style="position:fixed;top:10%">
+	    <p>Mit Werbung weiterlesen oder werbefrei im Abo für nur 1,99 € pro Monat.
+	       Wenn Sie akzeptieren, verarbeiten wir Ihre Daten mit Cookies.</p>
+	    <button>Alle akzeptieren</button><button>Jetzt abonnieren</button>
+	  </div></body></html>`)
+	fmt.Printf("\nraw HTML detection: kind=%s price=%.2f EUR words=%v\n",
+		raw.BannerKind, raw.PriceEUR, raw.MatchedWords)
+}

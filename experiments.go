@@ -1,0 +1,203 @@
+package cookiewalk
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cookiewalk/internal/measure"
+	"cookiewalk/internal/report"
+	"cookiewalk/internal/synthweb"
+	"cookiewalk/internal/vantage"
+)
+
+// Experiment identifies one reproducible artefact of the paper.
+type Experiment string
+
+// The paper's tables and figures, §3 accuracy, §4.1 prevalence, §4.4
+// SMP summary and §4.5 bypass.
+const (
+	ExpTable1     Experiment = "table1"
+	ExpFigure1    Experiment = "fig1"
+	ExpFigure2    Experiment = "fig2"
+	ExpFigure3    Experiment = "fig3"
+	ExpFigure4    Experiment = "fig4"
+	ExpFigure5    Experiment = "fig5"
+	ExpFigure6    Experiment = "fig6"
+	ExpAccuracy   Experiment = "accuracy"
+	ExpPrevalence Experiment = "prevalence"
+	ExpEmbeddings Experiment = "embeddings"
+	ExpSMP        Experiment = "smp"
+	ExpBypass     Experiment = "bypass"
+	// Extensions: the §3/§5 discussion items implemented as experiments.
+	ExpAblation   Experiment = "ablation"
+	ExpAutoReject Experiment = "autoreject"
+	ExpRevocation Experiment = "revocation"
+	ExpBotCheck   Experiment = "botcheck"
+	ExpAll        Experiment = "all"
+)
+
+// Experiments lists every runnable experiment id in report order.
+func Experiments() []Experiment {
+	return []Experiment{
+		ExpTable1, ExpEmbeddings, ExpAccuracy, ExpPrevalence,
+		ExpFigure1, ExpFigure2, ExpFigure3, ExpFigure4, ExpFigure5,
+		ExpFigure6, ExpSMP, ExpBypass,
+		ExpAblation, ExpAutoReject, ExpRevocation, ExpBotCheck,
+	}
+}
+
+// Landscape runs (or returns the cached) eight-VP crawl over all
+// targets. Every experiment that needs detections shares it, exactly
+// like the paper derives its analyses from one measurement campaign.
+func (s *Study) Landscape() *measure.Landscape {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.landscape == nil {
+		s.landscape = s.crawler.Landscape(vantage.All(), s.reg.TargetList())
+	}
+	return s.landscape
+}
+
+// germanObservations returns verified cookiewall observations from the
+// Germany VP — the reference population for Figures 1-3 and 6.
+func (s *Study) germanObservations() []measure.Observation {
+	l := s.Landscape()
+	res, _ := l.Result("Germany")
+	return s.crawler.Verified(res.Cookiewalls)
+}
+
+// figure4 caches the §4.3 cookie experiment (Figure 6 reuses its
+// tallies).
+func (s *Study) figure4() measure.Figure4 {
+	l := s.Landscape()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fig4 == nil {
+		vp, _ := vantage.ByName("Germany")
+		f := s.crawler.RunFigure4(l, vp, s.cfg.Reps, s.cfg.Seed)
+		s.fig4 = &f
+	}
+	return *s.fig4
+}
+
+// Report runs an experiment and renders its artefact as text.
+func (s *Study) Report(exp Experiment) (string, error) {
+	switch exp {
+	case ExpTable1:
+		return report.Table1(s.crawler.Table1(s.Landscape())), nil
+	case ExpEmbeddings:
+		return report.EmbeddingReport(s.germanObservations()), nil
+	case ExpAccuracy:
+		return report.AccuracyReport(s.crawler.Accuracy(s.Landscape(), 1000, s.cfg.Seed)), nil
+	case ExpPrevalence:
+		overall, top1k, perCountry := s.crawler.Prevalence(s.Landscape())
+		text := report.PrevalenceReport(overall, top1k, perCountry)
+		text += report.BannerRatesReport(measure.RatesPerVP(s.Landscape()))
+		return text, nil
+	case ExpFigure1:
+		shares := measure.CategoryShares(s.germanObservations(), synthweb.Categories)
+		return report.Figure1(shares), nil
+	case ExpFigure2:
+		return report.Figure2(measure.Prices(s.germanObservations())), nil
+	case ExpFigure3:
+		return report.Figure3(measure.CategoryPrices(s.germanObservations())), nil
+	case ExpFigure4:
+		return report.Figure4(s.figure4()), nil
+	case ExpFigure5:
+		vp, _ := vantage.ByName("Germany")
+		f, err := s.crawler.RunFigure5(vp, "contentpass", s.cfg.Reps)
+		if err != nil {
+			return "", err
+		}
+		return report.Figure5(f), nil
+	case ExpFigure6:
+		f := s.figure4()
+		corr, _, _ := measure.TrackingPriceCorrelation(s.germanObservations(), f.Cookiewall)
+		return report.Figure6(corr), nil
+	case ExpSMP:
+		return s.smpReport(), nil
+	case ExpBypass:
+		return s.bypassReport()
+	case ExpAblation:
+		vp, _ := vantage.ByName("Germany")
+		return report.AblationReport(s.crawler.RunAblation(vp, s.wallDomains())), nil
+	case ExpAutoReject:
+		vp, _ := vantage.ByName("Germany")
+		sample := append(s.wallDomains(), s.regularSample(280)...)
+		return report.AutoRejectReport(s.crawler.RunAutoReject(vp, sample)), nil
+	case ExpRevocation:
+		vp, _ := vantage.ByName("Germany")
+		r, err := s.crawler.RunRevocation(vp, s.wallDomains())
+		if err != nil {
+			return "", err
+		}
+		return report.RevocationReport(r), nil
+	case ExpBotCheck:
+		vp, _ := vantage.ByName("Germany")
+		sample := s.regularSample(1000)
+		return report.BotCheckReport(s.crawler.RunBotCheck(vp, sample)), nil
+	case ExpAll:
+		var b strings.Builder
+		for _, e := range Experiments() {
+			text, err := s.Report(e)
+			if err != nil {
+				return "", fmt.Errorf("cookiewalk: experiment %s: %w", e, err)
+			}
+			b.WriteString(text)
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("cookiewalk: unknown experiment %q", exp)
+	}
+}
+
+func (s *Study) smpReport() string {
+	var b strings.Builder
+	targets := map[string]bool{}
+	for _, d := range s.reg.TargetList() {
+		targets[d] = true
+	}
+	for _, platform := range []string{"contentpass", "freechoice"} {
+		partners := s.reg.SMP.Partners(platform)
+		inTargets := 0
+		for _, p := range partners {
+			if targets[p] {
+				inTargets++
+			}
+		}
+		b.WriteString(report.SMPReport(platform, len(partners), inTargets))
+	}
+	return b.String()
+}
+
+func (s *Study) bypassReport() (string, error) {
+	vp, _ := vantage.ByName("Germany")
+	bp := s.crawler.RunBypass(vp, s.wallDomains(), s.cfg.Reps, DefaultBlocker())
+	return report.BypassReport(bp), nil
+}
+
+// wallDomains returns the verified cookiewall domains detected from
+// Germany, sorted.
+func (s *Study) wallDomains() []string {
+	var walls []string
+	for _, o := range s.germanObservations() {
+		walls = append(walls, o.Domain)
+	}
+	sort.Strings(walls)
+	return walls
+}
+
+// regularSample returns up to n regular-banner domains (accept button
+// present) from the Germany crawl.
+func (s *Study) regularSample(n int) []string {
+	res, _ := s.Landscape().Result("Germany")
+	pool := res.RegularAcceptDomains
+	if len(pool) > n {
+		pool = pool[:n]
+	}
+	out := make([]string, len(pool))
+	copy(out, pool)
+	return out
+}

@@ -1,0 +1,146 @@
+package cookiewalk
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cookiewalk/internal/measure"
+	"cookiewalk/internal/vantage"
+)
+
+// The paper publishes its raw data alongside the tooling
+// (doi 10.17617/3.TREBZR). This file is the equivalent release path:
+// machine-readable exports of the measurement campaign.
+
+// WallRecord is one verified cookiewall observation in the data
+// release.
+type WallRecord struct {
+	Domain     string   `json:"domain"`
+	TLD        string   `json:"tld"`
+	Language   string   `json:"language"`
+	Category   string   `json:"category"`
+	Embedding  string   `json:"embedding"`
+	ShadowMode string   `json:"shadow_mode,omitempty"`
+	PriceEUR   float64  `json:"price_eur_month"`
+	Words      []string `json:"corpus_words"`
+	HasAccept  bool     `json:"has_accept"`
+	HasSub     bool     `json:"has_subscribe"`
+	Provider   string   `json:"provider"`
+	OnToplists []string `json:"toplists"`
+}
+
+// VPSummary is a per-vantage-point campaign summary.
+type VPSummary struct {
+	VP          string `json:"vp"`
+	Visited     int    `json:"visited"`
+	Errors      int    `json:"errors"`
+	NoBanner    int    `json:"no_banner"`
+	Regular     int    `json:"regular_banners"`
+	Cookiewalls int    `json:"cookiewalls_raw"`
+	Verified    int    `json:"cookiewalls_verified"`
+}
+
+// Dataset is the full machine-readable release.
+type Dataset struct {
+	Seed      uint64              `json:"seed"`
+	Scale     float64             `json:"scale"`
+	Reps      int                 `json:"reps"`
+	Targets   int                 `json:"targets"`
+	Table1    []measure.Table1Row `json:"table1"`
+	PerVP     []VPSummary         `json:"per_vp"`
+	Walls     []WallRecord        `json:"cookiewalls"`
+	Accuracy  measure.Accuracy    `json:"accuracy"`
+	BlockRate float64             `json:"adblock_block_rate,omitempty"`
+}
+
+// BuildDataset assembles the release from the (cached) campaign.
+func (s *Study) BuildDataset() Dataset {
+	l := s.Landscape()
+	ds := Dataset{
+		Seed:    s.cfg.Seed,
+		Scale:   s.cfg.Scale,
+		Reps:    s.cfg.Reps,
+		Targets: l.Targets,
+		Table1:  s.crawler.Table1(l),
+	}
+	for _, vp := range vantage.All() {
+		res, ok := l.Result(vp.Name)
+		if !ok {
+			continue
+		}
+		ds.PerVP = append(ds.PerVP, VPSummary{
+			VP:          res.VP,
+			Visited:     res.Visited,
+			Errors:      res.Errors,
+			NoBanner:    res.NoBanner,
+			Regular:     res.Regular,
+			Cookiewalls: len(res.Cookiewalls),
+			Verified:    len(s.crawler.Verified(res.Cookiewalls)),
+		})
+	}
+	for _, o := range s.germanObservations() {
+		rec := WallRecord{
+			Domain:     o.Domain,
+			TLD:        o.TLD(),
+			Language:   o.Language,
+			Category:   o.Category,
+			Embedding:  o.Source.String(),
+			ShadowMode: o.ShadowMode,
+			PriceEUR:   o.MonthlyEUR,
+			Words:      o.MatchedWords,
+			HasAccept:  o.HasAccept,
+			HasSub:     o.HasSub,
+		}
+		if site, ok := s.reg.Site(o.Domain); ok {
+			rec.Provider = site.Provider.Name
+			for cc := range site.Lists {
+				rec.OnToplists = append(rec.OnToplists, cc)
+			}
+		}
+		ds.Walls = append(ds.Walls, rec)
+	}
+	ds.Accuracy = s.crawler.Accuracy(l, 1000, s.cfg.Seed)
+	return ds
+}
+
+// ExportJSON writes the dataset as indented JSON.
+func (s *Study) ExportJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.BuildDataset()); err != nil {
+		return fmt.Errorf("cookiewalk: export json: %w", err)
+	}
+	return nil
+}
+
+// ExportWallsCSV writes one CSV row per verified cookiewall.
+func (s *Study) ExportWallsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"domain", "tld", "language", "category", "embedding",
+		"shadow_mode", "price_eur_month", "corpus_words", "provider",
+	}); err != nil {
+		return err
+	}
+	for _, rec := range s.BuildDataset().Walls {
+		words := ""
+		for i, wd := range rec.Words {
+			if i > 0 {
+				words += ";"
+			}
+			words += wd
+		}
+		if err := cw.Write([]string{
+			rec.Domain, rec.TLD, rec.Language, rec.Category, rec.Embedding,
+			rec.ShadowMode, strconv.FormatFloat(rec.PriceEUR, 'f', 4, 64),
+			words, rec.Provider,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

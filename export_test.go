@@ -1,0 +1,82 @@
+package cookiewalk
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBuildDataset(t *testing.T) {
+	s := testStudy(t)
+	ds := s.BuildDataset()
+	if ds.Targets != len(s.Targets()) {
+		t.Fatalf("targets = %d", ds.Targets)
+	}
+	if len(ds.Table1) != 8 || len(ds.PerVP) != 8 {
+		t.Fatalf("table1 = %d, perVP = %d", len(ds.Table1), len(ds.PerVP))
+	}
+	if len(ds.Walls) != 280 {
+		t.Fatalf("walls = %d", len(ds.Walls))
+	}
+	for _, w := range ds.Walls {
+		if w.Domain == "" || w.TLD == "" || w.PriceEUR <= 0 || w.Provider == "" {
+			t.Fatalf("incomplete record: %+v", w)
+		}
+	}
+	if ds.Accuracy.Detected != 285 {
+		t.Fatalf("accuracy detected = %d", ds.Accuracy.Detected)
+	}
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	s := testStudy(t)
+	var buf bytes.Buffer
+	if err := s.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ds Dataset
+	if err := json.Unmarshal(buf.Bytes(), &ds); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Walls) != 280 || ds.Seed != 42 {
+		t.Fatalf("round trip lost data: %d walls, seed %d", len(ds.Walls), ds.Seed)
+	}
+	// Spot-check a German SMP wall exists with its platform recorded.
+	foundSMP := false
+	for _, w := range ds.Walls {
+		if w.Provider == "contentpass" && w.Language == "de" {
+			foundSMP = true
+			break
+		}
+	}
+	if !foundSMP {
+		t.Fatal("no contentpass wall in export")
+	}
+}
+
+func TestExportWallsCSV(t *testing.T) {
+	s := testStudy(t)
+	var buf bytes.Buffer
+	if err := s.ExportWallsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 281 { // header + 280 walls
+		t.Fatalf("csv rows = %d", len(records))
+	}
+	if records[0][0] != "domain" {
+		t.Fatalf("header = %v", records[0])
+	}
+	// Every row parses a positive price.
+	for _, rec := range records[1:] {
+		if !strings.Contains(rec[6], ".") {
+			t.Fatalf("price cell = %q", rec[6])
+		}
+	}
+}

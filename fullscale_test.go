@@ -1,0 +1,67 @@
+package cookiewalk_test
+
+import (
+	"strings"
+	"testing"
+
+	"cookiewalk"
+)
+
+// TestFullScalePaperNumbers is the end-to-end validation at the
+// paper's real size: 45 222 targets, eight vantage points. It checks
+// the rate-based results that only hold at scale 1 (the scale-invariant
+// structural numbers are covered by the reduced-universe tests).
+// Skipped under -short: the campaign takes about a minute.
+func TestFullScalePaperNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale campaign (~1 min); run without -short")
+	}
+	s := fullScaleT(t)
+
+	// §4.1 prevalence: 0.6% overall; Germany 2.9% of reachable top
+	// 10k and 8.5% of reachable top 1k; ~1.7% aggregated top-1k.
+	prev, err := s.Report(cookiewalk.ExpPrevalence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"overall: 0.62%", "2.90%", "8.50%"} {
+		if !strings.Contains(prev, want) {
+			t.Errorf("prevalence missing %q:\n%s", want, prev)
+		}
+	}
+
+	// §3 random-sample audit at scale 1: about 6 cookiewalls per 1000
+	// sampled targets, all detected.
+	acc, err := s.Report(cookiewalk.ExpAccuracy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(acc, "precision 98.2%") {
+		t.Errorf("accuracy:\n%s", acc)
+	}
+	if !strings.Contains(acc, "recall 100%") {
+		t.Errorf("sample recall:\n%s", acc)
+	}
+
+	// Table 1, full scale (also covered at reduced scale; asserting
+	// here documents that scale does not disturb it).
+	tbl, err := s.Report(cookiewalk.ExpTable1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"280", "259", "233", "252"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table 1 missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+// fullScaleT reuses the benchmark fixture from tests.
+func fullScaleT(t *testing.T) *cookiewalk.Study {
+	t.Helper()
+	fullOnce.Do(func() {
+		fullStudy = cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 1, Reps: 5})
+		fullStudy.Landscape()
+	})
+	return fullStudy
+}

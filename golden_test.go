@@ -1,0 +1,44 @@
+package cookiewalk_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"cookiewalk"
+)
+
+// TestGoldenAllReport pins the COMPLETE experiment output at seed 42 /
+// scale 0.02 / reps 2 against a checked-in snapshot. Any change to the
+// universe generator, the crawler, the detector, the statistics or the
+// renderers shows up as a diff here — the determinism guarantee the
+// whole reproduction rests on.
+//
+// Regenerate deliberately after intended changes:
+//
+//	go run ./cmd/cookiewalk -exp all -scale 0.02 -reps 2 2>/dev/null > testdata/golden_all.txt
+func TestGoldenAllReport(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_all.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2})
+	got, err := study.Report(cookiewalk.ExpAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Locate the first divergent line for a useful failure message.
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("output diverges at line %d:\n got: %q\nwant: %q",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("output length changed: got %d lines, want %d lines",
+		len(gotLines), len(wantLines))
+}

@@ -1,0 +1,25 @@
+package adblock
+
+import "testing"
+
+func BenchmarkShouldBlock(b *testing.B) {
+	e := NewEngine(BaseList(), AnnoyancesList())
+	urls := []string{
+		"https://cdn.contentpass.example/cw.js?site=a.de",
+		"https://cdnassets.example/app.js",
+		"https://sync.trackpix7.example/p.gif?n=3",
+		"https://www.spiegel.de/article/1",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ShouldBlock("spiegel.de", urls[i%len(urls)])
+	}
+}
+
+func BenchmarkNewEngine(b *testing.B) {
+	base, annoy := BaseList(), AnnoyancesList()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewEngine(base, annoy)
+	}
+}

@@ -1,0 +1,52 @@
+package adblock
+
+import (
+	"strings"
+
+	"cookiewalk/internal/trackdb"
+)
+
+// BaseList returns the default-on filter list (the Easylist role):
+// network rules for every blocklisted tracker domain. uBlock Origin
+// ships with such lists enabled, so tracker subresources are blocked
+// whenever the extension is active.
+func BaseList() string {
+	var b strings.Builder
+	b.WriteString("! cookiewalk base list — tracker domains (Easylist role)\n")
+	for _, d := range trackdb.Domains() {
+		b.WriteString("||")
+		b.WriteString(d)
+		b.WriteString("^\n")
+	}
+	return b.String()
+}
+
+// AnnoyancesList returns the curated cookie-banner/cookiewall list that
+// the paper enables for §4.5 ("we enable the by default disabled
+// Annoyances filter lists to block cookiewalls"). It targets the
+// third-party delivery domains of Subscription and Consent Management
+// Platforms — the same shape as the real-world rules the paper quotes
+// (*cdn.opencmp.net/*, *consentmanager.net/*, *usercentrics.eu/*).
+//
+// Cookiewalls served from the site's own domain, or from lesser-known
+// hosts absent from this list, evade blocking — producing the paper's
+// 70% block rate.
+func AnnoyancesList() string {
+	return `! cookiewalk annoyances list — cookie banners & cookiewalls
+! Subscription Management Platform CDNs
+||contentpass.example^
+||cdn.contentpass.example^
+||freechoice.example^
+||cdn.freechoice.example^
+! Consent Management Platforms that also deliver cookiewalls
+*cdn.opencmp.example/*
+*consentmango.example/*
+*usercentrade.example/*
+! Stand-alone cookiewall kits
+||cwkit.example^
+||purabo.example^
+||adfreepass.example^
+! Cosmetic fallback for locally-served overlays that reuse stock markup
+##div.cw-smp-overlay
+`
+}

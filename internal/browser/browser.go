@@ -1,0 +1,426 @@
+// Package browser implements the emulated browser that replaces
+// Chrome + Selenium + OpenWPM in the paper's measurement stack.
+//
+// For every page load it: sends the request with the jar's cookies and
+// the vantage headers; parses the HTML into a DOM; materializes
+// declarative shadow roots; executes the page's declarative script
+// directives (the substitution for JavaScript, see DESIGN.md §5.6);
+// loads iframe documents recursively — including frames hosted inside
+// shadow roots; fetches cookie-setting subresources (images, scripts);
+// applies the content blocker to every network fetch and cosmetic rule
+// to the DOM; and records which URLs the blocker suppressed.
+//
+// Clicking a banner button performs the real HTTP flow: consent POSTs,
+// SMP login POSTs, redirect following, then a fresh page load — so
+// post-consent measurements observe exactly what the server serves a
+// consenting user.
+package browser
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"cookiewalk/internal/adblock"
+	"cookiewalk/internal/cookies"
+	"cookiewalk/internal/dom"
+	"cookiewalk/internal/vantage"
+)
+
+// Browser is an emulated browser session. It is NOT safe for
+// concurrent use; crawls create one Browser per worker.
+type Browser struct {
+	// Transport performs HTTP. Usually webfarm.(*Farm).Transport() or,
+	// in cmd/webfarm mode, a real http.Transport.
+	Transport http.RoundTripper
+	// Jar stores cookies; a fresh jar per site visit reproduces the
+	// paper's stateless crawling.
+	Jar *cookies.Jar
+	// VP stamps requests with the vantage point (geo substitution).
+	VP vantage.VP
+	// Visit labels the repetition for server-side jitter ("" = none).
+	Visit string
+	// Blocker, when set, enforces network filter rules and cosmetic
+	// hiding — the uBlock Origin stand-in for §4.5.
+	Blocker *adblock.Engine
+	// SMPToken authenticates subscription logins (§4.4).
+	SMPToken string
+	// UserAgent is sent on every request. The default imitates the
+	// regular Firefox that OpenWPM drives — the paper's bot-detection
+	// mitigation. Set a crawler-looking value to study how
+	// bot-sensitive sites change behaviour (§3 limitation).
+	UserAgent string
+	// MaxFrameDepth bounds iframe recursion (default 3).
+	MaxFrameDepth int
+	// MaxRedirects bounds redirect chains (default 5).
+	MaxRedirects int
+}
+
+// DefaultUserAgent imitates OpenWPM's instrumented Firefox.
+const DefaultUserAgent = "Mozilla/5.0 (X11; Linux x86_64; rv:102.0) Gecko/20100101 Firefox/102.0"
+
+// CrawlerUserAgent is an honest, detectable crawler identity for the
+// bot-sensitivity experiment.
+const CrawlerUserAgent = "cookiewalk/1.0 (measurement; +https://bannerclick.github.io)"
+
+// New returns a browser with a fresh cookie jar.
+func New(rt http.RoundTripper, vp vantage.VP) *Browser {
+	return &Browser{
+		Transport:     rt,
+		Jar:           cookies.NewJar(),
+		VP:            vp,
+		UserAgent:     DefaultUserAgent,
+		MaxFrameDepth: 3,
+		MaxRedirects:  5,
+	}
+}
+
+// Page is a fully loaded page.
+type Page struct {
+	// URL is the final URL after redirects.
+	URL *url.URL
+	// Doc is the document tree with shadow roots attached, banner
+	// fragments injected and iframe documents loaded.
+	Doc *dom.Node
+	// Status is the final HTTP status code.
+	Status int
+	// Blocked lists URLs the content blocker suppressed.
+	Blocked []string
+	// Fetched lists subresource URLs actually requested.
+	Fetched []string
+	// ScrollLocked reports the §4.5 promipool.de quirk: the page locked
+	// scrolling because it detected the blocker.
+	ScrollLocked bool
+	// AdblockPlea reports the hausbau-forum.de quirk: the page asks the
+	// user to disable the blocker.
+	AdblockPlea bool
+}
+
+// Host returns the page's host without port.
+func (p *Page) Host() string { return p.URL.Hostname() }
+
+// Open loads a page: fetch, parse, run directives, frames, resources.
+func (b *Browser) Open(rawurl string) (*Page, error) {
+	resp, finalURL, err := b.fetch(http.MethodGet, rawurl, nil, b.MaxRedirects)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	bodyBytes, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, fmt.Errorf("browser: read %s: %w", rawurl, err)
+	}
+	page := &Page{
+		URL:    finalURL,
+		Doc:    dom.Parse(string(bodyBytes)),
+		Status: resp.StatusCode,
+	}
+	b.runScriptDirectives(page)
+	b.loadFrames(page, page.Doc, b.MaxFrameDepth)
+	b.fetchSubresources(page)
+	b.applyCosmetics(page)
+	b.applyAdblockDetectors(page)
+	return page, nil
+}
+
+// fetch performs one HTTP request with cookies, geo headers, blocker
+// bypass (top-level documents are never blocked — blockers filter
+// subresources), and redirect following.
+func (b *Browser) fetch(method, rawurl string, form url.Values, redirectsLeft int) (*http.Response, *url.URL, error) {
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return nil, nil, fmt.Errorf("browser: bad url %q: %w", rawurl, err)
+	}
+	var bodyReader io.Reader
+	if form != nil {
+		bodyReader = strings.NewReader(form.Encode())
+	}
+	req, err := http.NewRequest(method, u.String(), bodyReader)
+	if err != nil {
+		return nil, nil, err
+	}
+	if form != nil {
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	}
+	req.Header.Set("User-Agent", b.UserAgent)
+	req.Header.Set(vantage.GeoHeader, b.VP.Name)
+	if b.Visit != "" {
+		req.Header.Set(vantage.VisitHeader, b.Visit)
+	}
+	for _, c := range b.Jar.CookiesFor(u.Hostname(), u.Path, u.Scheme == "https") {
+		req.AddCookie(&http.Cookie{Name: c.Name, Value: c.Value})
+	}
+	resp, err := b.Transport.RoundTrip(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	b.Jar.SetFromHeaders(u.Hostname(), resp.Header.Values("Set-Cookie"))
+
+	if isRedirect(resp.StatusCode) && redirectsLeft > 0 {
+		loc := resp.Header.Get("Location")
+		resp.Body.Close()
+		if loc == "" {
+			return nil, nil, fmt.Errorf("browser: redirect without location from %s", rawurl)
+		}
+		next, err := u.Parse(loc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("browser: bad redirect %q: %w", loc, err)
+		}
+		// 303 (and web convention for 301/302) switches to GET.
+		return b.fetch(http.MethodGet, next.String(), nil, redirectsLeft-1)
+	}
+	return resp, u, nil
+}
+
+func isRedirect(code int) bool {
+	switch code {
+	case http.StatusMovedPermanently, http.StatusFound, http.StatusSeeOther,
+		http.StatusTemporaryRedirect, http.StatusPermanentRedirect:
+		return true
+	}
+	return false
+}
+
+// fetchBlockable fetches a subresource URL unless the blocker vetoes
+// it. It returns (body, fetched, blocked).
+func (b *Browser) fetchBlockable(page *Page, rawurl string) (string, bool) {
+	abs, err := page.URL.Parse(rawurl)
+	if err != nil {
+		return "", false
+	}
+	if b.Blocker != nil && b.Blocker.ShouldBlock(page.Host(), abs.String()) {
+		page.Blocked = append(page.Blocked, abs.String())
+		return "", false
+	}
+	resp, _, err := b.fetch(http.MethodGet, abs.String(), nil, 2)
+	if err != nil {
+		return "", false
+	}
+	defer resp.Body.Close()
+	page.Fetched = append(page.Fetched, abs.String())
+	if resp.StatusCode != http.StatusOK {
+		return "", false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", false
+	}
+	return string(body), true
+}
+
+// scriptInjectSel finds declarative banner-loader scripts.
+var scriptInjectSel = dom.MustCompileSelector("script[src][data-cw-inject]")
+
+// runScriptDirectives executes <script src data-cw-inject="#sel">: the
+// response fragment is parsed and appended to the selector target.
+// This models what the provider's JavaScript does in a real browser,
+// and — critically for §4.5 — goes through the content blocker.
+func (b *Browser) runScriptDirectives(page *Page) {
+	for _, script := range page.Doc.QueryAll(scriptInjectSel) {
+		src, _ := script.Attr("src")
+		targetSel, _ := script.Attr("data-cw-inject")
+		target := page.Doc.QuerySelector(targetSel)
+		if target == nil {
+			continue
+		}
+		frag, ok := b.fetchBlockable(page, src)
+		if !ok {
+			continue
+		}
+		for _, child := range dom.ParseFragment(frag).Children() {
+			child.Detach()
+			target.AppendChild(child)
+		}
+	}
+}
+
+// loadFrames loads iframe content documents recursively, piercing
+// shadow roots (frames inside shadow trees are real frames).
+func (b *Browser) loadFrames(page *Page, root *dom.Node, depth int) {
+	if depth <= 0 {
+		return
+	}
+	var frames []*dom.Node
+	collectFrames(root, &frames)
+	for _, fr := range frames {
+		if fr.FrameDoc != nil {
+			continue
+		}
+		src, ok := fr.Attr("src")
+		if !ok || src == "" || strings.HasPrefix(src, "about:") {
+			continue
+		}
+		body, ok := b.fetchBlockable(page, src)
+		if !ok {
+			continue
+		}
+		fr.FrameDoc = dom.Parse(body)
+		b.loadFrames(page, fr.FrameDoc, depth-1)
+	}
+}
+
+// collectFrames gathers iframes in root's light DOM and shadow roots.
+func collectFrames(root *dom.Node, out *[]*dom.Node) {
+	root.Walk(func(n *dom.Node) bool {
+		if n.Type == dom.ElementNode {
+			if n.Tag == "iframe" {
+				*out = append(*out, n)
+			}
+			if n.Shadow != nil {
+				collectFrames(n.Shadow.Root, out)
+			}
+		}
+		return true
+	})
+}
+
+var subresourceSel = dom.MustCompileSelector("img[src], script[src], link[href]")
+
+// fetchSubresources requests cookie-setting resources: images, plain
+// scripts and stylesheets — across the main document, shadow roots and
+// loaded frames.
+func (b *Browser) fetchSubresources(page *Page) {
+	roots := []*dom.Node{page.Doc}
+	for _, sr := range page.Doc.ShadowRoots() {
+		roots = append(roots, sr.Root)
+	}
+	roots = append(roots, page.Doc.FrameDocs()...)
+	for _, root := range roots {
+		for _, el := range root.QueryAll(subresourceSel) {
+			if el.Tag == "script" {
+				if _, isInject := el.Attr("data-cw-inject"); isInject {
+					continue // already executed as a directive
+				}
+			}
+			attr := "src"
+			if el.Tag == "link" {
+				attr = "href"
+			}
+			u, _ := el.Attr(attr)
+			if u == "" || strings.HasPrefix(u, "data:") {
+				continue
+			}
+			b.fetchBlockable(page, u)
+		}
+	}
+}
+
+// applyCosmetics removes elements matched by the blocker's cosmetic
+// rules (element hiding).
+func (b *Browser) applyCosmetics(page *Page) {
+	if b.Blocker == nil {
+		return
+	}
+	for _, selSrc := range b.Blocker.CosmeticSelectors(page.Host()) {
+		sel, err := dom.CompileSelector(selSrc)
+		if err != nil {
+			continue
+		}
+		for _, n := range page.Doc.QueryAll(sel) {
+			n.Detach()
+		}
+	}
+}
+
+var (
+	ifBlockedSel   = dom.MustCompileSelector("[data-cw-if-blocked]")
+	scrollLockSel  = dom.MustCompileSelector("body[data-scroll-lock-if-blocked]")
+	blockedAttrSel = "data-cw-if-blocked"
+)
+
+// applyAdblockDetectors emulates client-side anti-adblock scripts:
+// elements guarded by data-cw-if-blocked become visible when their
+// sentinel URL was blocked (and disappear otherwise); a body
+// scroll-lock directive freezes scrolling.
+func (b *Browser) applyAdblockDetectors(page *Page) {
+	blocked := map[string]bool{}
+	for _, u := range page.Blocked {
+		blocked[u] = true
+	}
+	wasBlocked := func(sentinel string) bool {
+		for u := range blocked {
+			if strings.HasPrefix(u, sentinel) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, n := range page.Doc.QueryAll(ifBlockedSel) {
+		sentinel, _ := n.Attr(blockedAttrSel)
+		if wasBlocked(sentinel) {
+			// Reveal the plea.
+			var kept []struct{ k, v string }
+			for _, a := range n.Attrs {
+				if a.Key != "hidden" {
+					kept = append(kept, struct{ k, v string }{a.Key, a.Val})
+				}
+			}
+			n.Attrs = n.Attrs[:0]
+			for _, a := range kept {
+				n.SetAttr(a.k, a.v)
+			}
+			page.AdblockPlea = true
+		} else {
+			n.Detach()
+		}
+	}
+	if body := page.Doc.Body(); body != nil {
+		if sentinel, ok := body.Attr("data-scroll-lock-if-blocked"); ok && wasBlocked(sentinel) {
+			body.SetAttr("data-scroll-locked", "true")
+			page.ScrollLocked = true
+		}
+	}
+}
+
+// Click activates a banner button and returns the page that results.
+// Supported data-action values:
+//
+//	consent-accept  — POST choice=accept to data-target, reload
+//	consent-reject  — POST choice=reject to data-target, reload
+//	smp-subscribe   — POST token=<SMPToken> to data-target, reload
+//
+// The button may live in the main DOM, a shadow root, or an iframe
+// document; data-target is absolute, so the flow works from any of
+// them (real CMP frames postMessage to the top window — the HTTP
+// effect is the same).
+func (b *Browser) Click(page *Page, button *dom.Node) (*Page, error) {
+	if button == nil {
+		return nil, fmt.Errorf("browser: nil button")
+	}
+	action, _ := button.Attr("data-action")
+	target, _ := button.Attr("data-target")
+	if target == "" {
+		target = "/consent"
+	}
+	abs, err := page.URL.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("browser: bad target %q: %w", target, err)
+	}
+	var form url.Values
+	switch action {
+	case "consent-accept":
+		form = url.Values{"choice": {"accept"}}
+	case "consent-reject":
+		form = url.Values{"choice": {"reject"}}
+	case "smp-subscribe":
+		if b.SMPToken == "" {
+			return nil, fmt.Errorf("browser: subscribe click without SMP token")
+		}
+		form = url.Values{"token": {b.SMPToken}}
+	default:
+		return nil, fmt.Errorf("browser: unsupported action %q", action)
+	}
+	resp, _, err := b.fetch(http.MethodPost, abs.String(), form, b.MaxRedirects)
+	if err != nil {
+		return nil, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return nil, fmt.Errorf("browser: %s returned %d", action, resp.StatusCode)
+	}
+	// Reload the top-level page to observe the post-interaction state.
+	return b.Open(page.URL.String())
+}

@@ -1,0 +1,131 @@
+// Package categorize assigns websites to content categories, standing
+// in for the FortiGuard Web-filter database the paper uses for
+// Figure 1. Unlike FortiGuard (a domain->category oracle), this
+// classifier works from page text, which is strictly harder and keeps
+// the analysis honest: the measurement pipeline categorizes what it
+// crawled, not what the registry says.
+//
+// The taxonomy is the 15 categories Figure 1 reports plus "Others".
+// Keywords are multilingual because the study's sites are mostly
+// German, with English, Italian, Swedish, French, Spanish, Portuguese,
+// Dutch and Danish minorities.
+package categorize
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// keywords maps category -> distinctive content words (lower-case).
+// Page generators in webfarm weave a few of these into body text; the
+// classifier counts weighted hits.
+var keywords = map[string][]string{
+	// "redaktion"/"presse" are deliberately absent: editorial boilerplate
+	// mentions them on sites of every category, so they do not
+	// discriminate.
+	"News and Media": {"nachrichten", "news", "schlagzeilen", "politik",
+		"notizie", "nyheter", "actualites", "noticias", "nieuws",
+		"breaking", "journalismus", "headline"},
+	"Business": {"business", "unternehmen", "firma", "handel", "b2b",
+		"industrie", "mittelstand", "azienda", "empresa", "entreprise",
+		"commerce", "logistik", "management"},
+	"Information Technology": {"software", "hardware", "technik", "tech",
+		"computer", "programmierung", "cloud", "server", "digital",
+		"tecnologia", "teknik", "informatique", "entwickler", "coding"},
+	"Entertainment": {"unterhaltung", "entertainment", "kino", "film",
+		"serie", "promi", "stars", "celebrity", "musica", "cinema",
+		"konzert", "show", "streaming"},
+	"Sports": {"sport", "fussball", "bundesliga", "calcio", "football",
+		"tennis", "olympia", "liga", "match", "turnier", "deportes",
+		"sporten", "verein", "training"},
+	"Reference": {"lexikon", "enzyklopädie", "wörterbuch", "referenz",
+		"reference", "dictionary", "wiki", "encyclopedia", "datenbank",
+		"archiv", "bibliothek", "nachschlagewerk"},
+	"Society and Lifestyles": {"lifestyle", "gesellschaft", "mode",
+		"fashion", "wohnen", "familie", "leben", "trends", "beauty",
+		"kultur", "sociedad", "samhälle", "stil"},
+	"Search Engines and Portals": {"suchmaschine", "portal", "suche",
+		"search", "verzeichnis", "startseite", "webkatalog", "index",
+		"directory", "links"},
+	"Health and Wellness": {"gesundheit", "health", "medizin", "arzt",
+		"ernährung", "fitness", "wellness", "salute", "salud", "hälsa",
+		"saude", "apotheke", "therapie", "symptome"},
+	"Games": {"spiele", "games", "gaming", "konsole", "videospiele",
+		"zocken", "giochi", "spel", "jeux", "juegos", "esports",
+		"playstation", "nintendo"},
+	"Web-based Email": {"email", "e-mail", "webmail", "posteingang",
+		"mail", "postfach", "inbox", "correo", "courriel"},
+	"Travel": {"reise", "travel", "urlaub", "hotel", "flug", "viaggi",
+		"resor", "voyage", "viajes", "viagens", "tourismus", "strand",
+		"buchung"},
+	"Personal Vehicles": {"auto", "fahrzeug", "motorrad", "pkw", "cars",
+		"automobil", "motori", "bil", "voiture", "coche", "carro",
+		"werkstatt", "tuning"},
+	"Restaurant and Dining": {"restaurant", "rezepte", "kochen", "essen",
+		"gastronomie", "cucina", "recept", "recettes", "recetas",
+		"culinaria", "menü", "dining", "kulinarisch"},
+	"Finance and Banking": {"finanzen", "bank", "börse", "aktien",
+		"kredit", "geld", "finance", "banking", "invest", "sparen",
+		"finanza", "ekonomi", "bourse", "bolsa", "zinsen"},
+}
+
+// Categories returns the taxonomy in Figure 1 display order plus
+// "Others" last.
+func Categories() []string {
+	return []string{
+		"News and Media", "Business", "Information Technology",
+		"Entertainment", "Sports", "Reference", "Society and Lifestyles",
+		"Search Engines and Portals", "Health and Wellness", "Games",
+		"Web-based Email", "Travel", "Personal Vehicles",
+		"Restaurant and Dining", "Finance and Banking", "Others",
+	}
+}
+
+// Keywords returns the keyword list for a category ("Others" and
+// unknown categories return nil). The returned slice is a copy.
+func Keywords(category string) []string {
+	ks := keywords[category]
+	if ks == nil {
+		return nil
+	}
+	out := make([]string, len(ks))
+	copy(out, ks)
+	return out
+}
+
+// Classify returns the best-matching category for page text, falling
+// back to "Others" when no keyword scores. Ties break alphabetically
+// for determinism.
+func Classify(text string) string {
+	words := tokenize(text)
+	if len(words) == 0 {
+		return "Others"
+	}
+	counts := make(map[string]int, len(words))
+	for _, w := range words {
+		counts[w]++
+	}
+	best, bestScore := "Others", 0
+	cats := make([]string, 0, len(keywords))
+	for c := range keywords {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, cat := range cats {
+		score := 0
+		for _, kw := range keywords[cat] {
+			score += counts[kw]
+		}
+		if score > bestScore {
+			best, bestScore = cat, score
+		}
+	}
+	return best
+}
+
+func tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && r != '-'
+	})
+}

@@ -1,0 +1,313 @@
+// Package cookies implements the cookie model of the study: an
+// RFC 6265-subset cookie jar for the emulated browser, and the
+// first-party / third-party / tracking classification used in §4.3 and
+// §4.4 of the paper.
+//
+// Classification rules (identical to the paper's):
+//
+//   - a cookie is FIRST-PARTY when its domain shares a registrable
+//     domain (eTLD+1) with the visited page, THIRD-PARTY otherwise;
+//   - a cookie is TRACKING when its domain matches an entry of the
+//     justdomains-style blocklist (package trackdb) — matching the
+//     domain itself or any parent registrable domain.
+package cookies
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cookiewalk/internal/publicsuffix"
+)
+
+// Cookie is a single stored cookie.
+type Cookie struct {
+	Name  string
+	Value string
+	// Domain is the cookie's domain attribute, lower-case, without a
+	// leading dot. HostOnly marks cookies that had no Domain attribute.
+	Domain   string
+	Path     string
+	Expires  time.Time // zero means session cookie
+	Secure   bool
+	HTTPOnly bool
+	HostOnly bool
+}
+
+// Expired reports whether the cookie is expired at now.
+func (c *Cookie) Expired(now time.Time) bool {
+	return !c.Expires.IsZero() && !now.Before(c.Expires)
+}
+
+// ParseSetCookie parses one Set-Cookie header value received from
+// requestHost. It returns nil for malformed or rejected cookies
+// (empty name, domain not matching the request host).
+func ParseSetCookie(header, requestHost string, now time.Time) *Cookie {
+	parts := strings.Split(header, ";")
+	nameVal := strings.SplitN(parts[0], "=", 2)
+	if len(nameVal) != 2 {
+		return nil
+	}
+	name := strings.TrimSpace(nameVal[0])
+	if name == "" {
+		return nil
+	}
+	c := &Cookie{
+		Name:     name,
+		Value:    strings.TrimSpace(nameVal[1]),
+		Domain:   canonicalHost(requestHost),
+		Path:     "/",
+		HostOnly: true,
+	}
+	for _, attr := range parts[1:] {
+		kv := strings.SplitN(attr, "=", 2)
+		key := strings.ToLower(strings.TrimSpace(kv[0]))
+		val := ""
+		if len(kv) == 2 {
+			val = strings.TrimSpace(kv[1])
+		}
+		switch key {
+		case "domain":
+			d := strings.TrimPrefix(strings.ToLower(val), ".")
+			if d == "" {
+				continue
+			}
+			// RFC 6265 §5.3: the request host must domain-match the
+			// attribute, and the attribute must not be a public suffix.
+			if !domainMatch(canonicalHost(requestHost), d) || publicsuffix.IsSuffix(d) {
+				return nil
+			}
+			c.Domain = d
+			c.HostOnly = false
+		case "path":
+			if strings.HasPrefix(val, "/") {
+				c.Path = val
+			}
+		case "max-age":
+			if secs, err := strconv.Atoi(val); err == nil {
+				if secs <= 0 {
+					c.Expires = now.Add(-time.Second)
+				} else {
+					c.Expires = now.Add(time.Duration(secs) * time.Second)
+				}
+			}
+		case "expires":
+			if c.Expires.IsZero() { // Max-Age wins over Expires
+				if t, err := time.Parse(time.RFC1123, val); err == nil {
+					c.Expires = t
+				}
+			}
+		case "secure":
+			c.Secure = true
+		case "httponly":
+			c.HTTPOnly = true
+		}
+	}
+	return c
+}
+
+// domainMatch implements RFC 6265 §5.1.3: host domain-matches domain
+// when they are equal or host ends with "." + domain.
+func domainMatch(host, domain string) bool {
+	if host == domain {
+		return true
+	}
+	return strings.HasSuffix(host, "."+domain)
+}
+
+func canonicalHost(h string) string {
+	h = strings.ToLower(strings.TrimSpace(h))
+	if i := strings.IndexByte(h, ':'); i >= 0 {
+		h = h[:i]
+	}
+	return strings.TrimSuffix(h, ".")
+}
+
+// defaultPath implements RFC 6265 §5.1.4.
+func pathMatch(requestPath, cookiePath string) bool {
+	if requestPath == cookiePath {
+		return true
+	}
+	if !strings.HasPrefix(requestPath, cookiePath) {
+		return false
+	}
+	return strings.HasSuffix(cookiePath, "/") ||
+		requestPath[len(cookiePath)] == '/'
+}
+
+// Jar stores cookies for the emulated browser. It is safe for
+// concurrent use. Expiry is evaluated against the Now function, which
+// defaults to time.Now but is fixed in tests for determinism.
+type Jar struct {
+	mu      sync.Mutex
+	cookies map[string]*Cookie // key: domain + ";" + path + ";" + name
+	Now     func() time.Time
+}
+
+// NewJar returns an empty jar.
+func NewJar() *Jar {
+	return &Jar{cookies: make(map[string]*Cookie), Now: time.Now}
+}
+
+func key(c *Cookie) string { return c.Domain + ";" + c.Path + ";" + c.Name }
+
+// SetFromHeaders stores cookies from Set-Cookie header values received
+// in a response from host. Malformed cookies are dropped; expired
+// cookies delete existing entries (the RFC deletion idiom).
+func (j *Jar) SetFromHeaders(host string, headers []string) {
+	now := j.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, h := range headers {
+		c := ParseSetCookie(h, host, now)
+		if c == nil {
+			continue
+		}
+		if c.Expired(now) {
+			delete(j.cookies, key(c))
+			continue
+		}
+		j.cookies[key(c)] = c
+	}
+}
+
+// Set stores a cookie directly (used by declarative page directives).
+func (j *Jar) Set(c *Cookie) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cookies[key(c)] = c
+}
+
+// CookiesFor returns the cookies that would be sent on a request to
+// host+path over a connection that is secure when secure is true,
+// sorted by longest path then name for deterministic header order.
+func (j *Jar) CookiesFor(host, path string, secure bool) []*Cookie {
+	if path == "" {
+		path = "/"
+	}
+	h := canonicalHost(host)
+	now := j.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []*Cookie
+	for _, c := range j.cookies {
+		if c.Expired(now) {
+			continue
+		}
+		if c.Secure && !secure {
+			continue
+		}
+		if c.HostOnly {
+			if h != c.Domain {
+				continue
+			}
+		} else if !domainMatch(h, c.Domain) {
+			continue
+		}
+		if !pathMatch(path, c.Path) {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].Path) != len(out[b].Path) {
+			return len(out[a].Path) > len(out[b].Path)
+		}
+		if out[a].Name != out[b].Name {
+			return out[a].Name < out[b].Name
+		}
+		return out[a].Domain < out[b].Domain
+	})
+	return out
+}
+
+// All returns every live cookie in the jar, deterministically ordered.
+func (j *Jar) All() []*Cookie {
+	now := j.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []*Cookie
+	for _, c := range j.cookies {
+		if !c.Expired(now) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Domain != out[b].Domain {
+			return out[a].Domain < out[b].Domain
+		}
+		if out[a].Name != out[b].Name {
+			return out[a].Name < out[b].Name
+		}
+		return out[a].Path < out[b].Path
+	})
+	return out
+}
+
+// Len returns the number of live cookies.
+func (j *Jar) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.cookies)
+}
+
+// Clear removes all cookies — the paper's §5 note that revoking a
+// cookiewall "accept" requires deleting cookies and local storage.
+func (j *Jar) Clear() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cookies = make(map[string]*Cookie)
+}
+
+// Class is the party classification of a cookie relative to a page.
+type Class int
+
+const (
+	// FirstParty cookies share the page's registrable domain.
+	FirstParty Class = iota
+	// ThirdParty cookies come from another registrable domain.
+	ThirdParty
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == FirstParty {
+		return "first-party"
+	}
+	return "third-party"
+}
+
+// Classify returns the party class of cookie c for a page hosted at
+// pageHost.
+func Classify(c *Cookie, pageHost string) Class {
+	if publicsuffix.SameSite(c.Domain, pageHost) {
+		return FirstParty
+	}
+	return ThirdParty
+}
+
+// Tally is the per-page cookie count triple reported in Figures 4/5.
+type Tally struct {
+	FirstParty int
+	ThirdParty int
+	Tracking   int
+}
+
+// Count classifies every cookie in the jar against pageHost. isTracking
+// decides blocklist membership (normally trackdb.IsTracking).
+func Count(j *Jar, pageHost string, isTracking func(domain string) bool) Tally {
+	var t Tally
+	for _, c := range j.All() {
+		if Classify(c, pageHost) == FirstParty {
+			t.FirstParty++
+		} else {
+			t.ThirdParty++
+		}
+		if isTracking != nil && isTracking(c.Domain) {
+			t.Tracking++
+		}
+	}
+	return t
+}

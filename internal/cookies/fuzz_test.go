@@ -1,0 +1,44 @@
+package cookies
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseSetCookie hardens the Set-Cookie parser: any header either
+// parses into a well-formed cookie or is rejected, never panics.
+func FuzzParseSetCookie(f *testing.F) {
+	for _, s := range []string{
+		"a=b",
+		"sid=x; Path=/; HttpOnly; Secure",
+		"t=1; Domain=.example.de; Max-Age=60",
+		"t=1; Expires=Mon, 02 Jan 2034 15:04:05 UTC",
+		"=novalue", "; ; ;", "a=b; Domain=", "a=b; Max-Age=notanumber",
+		"a=b; Domain=de", "x=y; Path=relative",
+	} {
+		f.Add(s)
+	}
+	now := time.Date(2023, 5, 1, 0, 0, 0, 0, time.UTC)
+	f.Fuzz(func(t *testing.T, header string) {
+		c := ParseSetCookie(header, "www.example.de", now)
+		if c == nil {
+			return
+		}
+		if c.Name == "" {
+			t.Fatal("accepted cookie without name")
+		}
+		if c.Domain == "" {
+			t.Fatal("accepted cookie without domain")
+		}
+		if c.Path == "" || c.Path[0] != '/' {
+			t.Fatalf("bad path %q", c.Path)
+		}
+		// A stored cookie must round-trip through the jar.
+		j := NewJar()
+		j.Now = func() time.Time { return now }
+		j.Set(c)
+		if !c.Expired(now) && len(j.All()) != 1 {
+			t.Fatal("jar lost the cookie")
+		}
+	})
+}

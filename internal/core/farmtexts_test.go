@@ -1,0 +1,56 @@
+package core_test
+
+// This cross-package test pins the contract between the web farm's
+// multilingual banner corpus and the detector: every language the farm
+// can render must stay detectable and correctly classified. Breaking
+// either side (adding a language without detector keywords, or
+// trimming a keyword the farm relies on) fails here, not in a distant
+// integration run.
+
+import (
+	"fmt"
+	"testing"
+
+	"cookiewalk/internal/core"
+	"cookiewalk/internal/dom"
+	"cookiewalk/internal/webfarm"
+)
+
+func bannerDoc(text, b1, b2 string) *dom.Node {
+	return dom.Parse(fmt.Sprintf(`<html><body>
+<div class="consent-layer" role="dialog" style="position:fixed;bottom:0">
+  <p>%s</p><button id="b1">%s</button><button id="b2">%s</button>
+</div></body></html>`, text, b1, b2))
+}
+
+func TestEveryFarmLanguageDetectable(t *testing.T) {
+	for lang, strs := range webfarm.BannerTexts() {
+		consentText, wallText := strs[0], strs[1]
+		accept, reject, subscribe := strs[2], strs[3], strs[4]
+
+		t.Run(lang+"/regular", func(t *testing.T) {
+			det := core.Detect(bannerDoc(consentText, accept, reject))
+			if det.Kind != core.KindRegular {
+				t.Fatalf("regular banner classified %v (text %q)", det.Kind, consentText)
+			}
+			if det.AcceptButton == nil {
+				t.Errorf("accept label %q unrecognized", accept)
+			}
+			if det.RejectButton == nil {
+				t.Errorf("reject label %q unrecognized", reject)
+			}
+		})
+		t.Run(lang+"/cookiewall", func(t *testing.T) {
+			det := core.Detect(bannerDoc(wallText, accept, subscribe))
+			if det.Kind != core.KindCookiewall {
+				t.Fatalf("wall classified %v (text %q)", det.Kind, wallText)
+			}
+			if det.SubscribeButton == nil {
+				t.Errorf("subscribe label %q unrecognized", subscribe)
+			}
+			if det.MonthlyEUR <= 0 {
+				t.Errorf("price not extracted from %q", wallText)
+			}
+		})
+	}
+}

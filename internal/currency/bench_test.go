@@ -1,0 +1,23 @@
+package currency
+
+import "testing"
+
+func BenchmarkFindPrices(b *testing.B) {
+	text := "Mit Werbung kostenlos weiterlesen oder werbefrei im Abo für nur 2,99 € pro Monat bzw. 29,99 € pro Jahr. Jetzt abonnieren und ohne Tracking lesen."
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(FindPrices(text)) != 2 {
+			b.Fatal("wrong count")
+		}
+	}
+}
+
+func BenchmarkFindPricesNoMatch(b *testing.B) {
+	text := "We and our partners use cookies to personalise content and analyse our traffic on this website."
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(FindPrices(text)) != 0 {
+			b.Fatal("unexpected match")
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package currency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func one(t *testing.T, text string) Price {
+	t.Helper()
+	ps := FindPrices(text)
+	if len(ps) != 1 {
+		t.Fatalf("FindPrices(%q) = %v, want exactly 1", text, ps)
+	}
+	return ps[0]
+}
+
+func TestPaperCombinationOrders(t *testing.T) {
+	// The four combination shapes from §3 of the paper.
+	for _, text := range []string{"$3.99", "3.99$", "3.99 $", "$ 3.99"} {
+		p := one(t, text)
+		if p.Code != "USD" || math.Abs(p.Amount-3.99) > 1e-9 {
+			t.Errorf("%q -> %+v", text, p)
+		}
+	}
+}
+
+func TestEuroFormats(t *testing.T) {
+	cases := []string{"€3,99", "3,99€", "3,99 €", "3.99 EUR", "nur 3,99 Euro im Monat"}
+	for _, text := range cases {
+		p := one(t, text)
+		if p.Code != "EUR" || math.Abs(p.Amount-3.99) > 1e-9 {
+			t.Errorf("%q -> %+v", text, p)
+		}
+	}
+}
+
+func TestCurrencyTokens(t *testing.T) {
+	cases := map[string]string{
+		"£2.50":    "GBP",
+		"CHF 4.90": "CHF",
+		"A$5.99":   "AUD",
+		"R$9,90":   "BRL",
+		"Rs. 99":   "INR",
+		"Rs 99":    "INR",
+		"₹199":     "INR",
+		"¥25":      "CNY",
+		"R49,99":   "ZAR",
+		"39 kr":    "SEK",
+		"ZAR 49":   "ZAR",
+	}
+	for text, code := range cases {
+		p := one(t, text)
+		if p.Code != code {
+			t.Errorf("%q -> %s, want %s", text, p.Code, code)
+		}
+	}
+}
+
+func TestWordBoundaries(t *testing.T) {
+	// "kr" inside a word, "r" inside words, "eur" inside "europe"
+	// must not produce prices.
+	for _, text := range []string{
+		"krank 5 tage", "wir 7 zwerge", "europe 2020 report",
+		"user 3 profile", "Vers 5 Kapitel",
+	} {
+		if ps := FindPrices(text); len(ps) != 0 {
+			t.Errorf("FindPrices(%q) = %v, want none", text, ps)
+		}
+	}
+}
+
+func TestAmountParsing(t *testing.T) {
+	cases := map[string]float64{
+		"€3,99":     3.99,
+		"€3.99":     3.99,
+		"€1.299,00": 1299.0,
+		"€1,299.00": 1299.0,
+		"€1.299":    1299.0, // dot followed by 3 digits = thousands
+		"€12":       12,
+		"€0,50":     0.5,
+	}
+	for text, want := range cases {
+		p := one(t, text)
+		if math.Abs(p.Amount-want) > 1e-9 {
+			t.Errorf("%q -> %g, want %g", text, p.Amount, want)
+		}
+	}
+}
+
+func TestPeriodDetection(t *testing.T) {
+	cases := map[string]Period{
+		"3,99 € pro Monat":         PeriodMonth,
+		"3,99 € monatlich kündbar": PeriodMonth,
+		"$4.33 per month":          PeriodMonth,
+		"€36 pro Jahr":             PeriodYear,
+		"£24 billed annually":      PeriodYear,
+		"2,99 € al mese":           PeriodMonth,
+		"9,99 € all'anno":          PeriodYear,
+		"29 kr per månad":          PeriodMonth,
+		"monatlich nur 2,99 €":     PeriodMonth,
+		"€5 just like that":        PeriodUnknown,
+		"1,00 € pro Woche":         PeriodWeek,
+	}
+	for text, want := range cases {
+		p := one(t, text)
+		if p.Period != want {
+			t.Errorf("%q -> %v, want %v", text, p.Period, want)
+		}
+	}
+}
+
+func TestMonthlyEUR(t *testing.T) {
+	cases := []struct {
+		p    Price
+		want float64
+	}{
+		{Price{Amount: 3, Code: "EUR", Period: PeriodMonth}, 3},
+		{Price{Amount: 3, Code: "EUR", Period: PeriodUnknown}, 3},
+		{Price{Amount: 36, Code: "EUR", Period: PeriodYear}, 3},
+		{Price{Amount: 3, Code: "USD", Period: PeriodMonth}, 2.769},
+		{Price{Amount: 12, Code: "EUR", Period: PeriodWeek}, 52},
+		{Price{Amount: 5, Code: "XXX", Period: PeriodMonth}, 0},
+	}
+	for _, c := range cases {
+		if got := c.p.MonthlyEUR(); math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("%+v -> %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPaperAnchorRate(t *testing.T) {
+	// §4.2: "3 Euro (3.25 USD)" — our pinned USD rate must reproduce
+	// the paper's anchor within a cent.
+	usd := 3.0 / EURRate("USD")
+	if math.Abs(usd-3.25) > 0.01 {
+		t.Fatalf("3 EUR = %.4f USD, want ~3.25", usd)
+	}
+}
+
+func TestBucket(t *testing.T) {
+	cases := map[float64]int{
+		-1:   0,
+		0:    0,
+		0.5:  1,
+		1.0:  1,
+		1.01: 2,
+		2.99: 3,
+		3.0:  3,
+		3.01: 4,
+		9.5:  10,
+		25:   10,
+	}
+	for in, want := range cases {
+		if got := Bucket(in); got != want {
+			t.Errorf("Bucket(%g) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestCheapestMonthly(t *testing.T) {
+	ps := []Price{
+		{Amount: 36, Code: "EUR", Period: PeriodYear}, // 3/mo
+		{Amount: 4.99, Code: "EUR", Period: PeriodMonth},
+		{Amount: 1, Code: "XXX"},
+	}
+	got, ok := CheapestMonthly(ps)
+	if !ok || math.Abs(got-3) > 1e-9 {
+		t.Fatalf("got %g, %v", got, ok)
+	}
+	if _, ok := CheapestMonthly(nil); ok {
+		t.Fatal("empty input must not find a price")
+	}
+	if _, ok := CheapestMonthly([]Price{{Amount: 1, Code: "XXX"}}); ok {
+		t.Fatal("unknown currency must not count")
+	}
+}
+
+func TestMultiplePrices(t *testing.T) {
+	text := "Mit Werbung kostenlos oder werbefrei für 2,99 € pro Monat bzw. 29,99 € pro Jahr."
+	ps := FindPrices(text)
+	if len(ps) != 2 {
+		t.Fatalf("found %d prices: %v", len(ps), ps)
+	}
+	cheapest, _ := CheapestMonthly(ps)
+	if math.Abs(cheapest-29.99/12) > 1e-9 {
+		t.Fatalf("cheapest = %g", cheapest)
+	}
+}
+
+func TestNoFalsePositivesOnPlainText(t *testing.T) {
+	for _, text := range []string{
+		"We use cookies to improve your experience.",
+		"Wir verwenden Cookies und ähnliche Technologien.",
+		"Accept all or manage settings.",
+		"Published in 2023 by the team",
+	} {
+		if ps := FindPrices(text); len(ps) != 0 {
+			t.Errorf("%q -> %v", text, ps)
+		}
+	}
+}
+
+func TestPeriodString(t *testing.T) {
+	if PeriodMonth.String() != "month" || PeriodUnknown.String() != "unknown" ||
+		PeriodYear.String() != "year" || PeriodWeek.String() != "week" {
+		t.Fatal("Period.String wrong")
+	}
+}
+
+// Property: FindPrices never panics and every returned price has a
+// known currency code and non-negative amount.
+func TestQuickFindPricesTotal(t *testing.T) {
+	f := func(s string) bool {
+		for _, p := range FindPrices(s) {
+			if p.Amount < 0 || EURRate(p.Code) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Bucket is monotonic.
+func TestQuickBucketMonotonic(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return Bucket(a) <= Bucket(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

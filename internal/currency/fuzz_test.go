@@ -1,0 +1,36 @@
+package currency
+
+import "testing"
+
+// FuzzFindPrices hardens the price scanner against adversarial banner
+// text: it must terminate, never panic, and only emit valid prices.
+func FuzzFindPrices(f *testing.F) {
+	for _, s := range []string{
+		"3,99 € pro Monat",
+		"$3.99 3.99$ 3.99 $ $ 3.99",
+		"für 2,99 € bzw. 29,99 € pro Jahr",
+		"R$9,90 A$5 Rs. 99 ¥25 34 kr",
+		"€€€€ 1,2,3,4 .... $$",
+		"1.299,00 € und 1,299.00 $",
+		"€" + "9999999999999",
+		"kr kr kr 5 kr",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, p := range FindPrices(text) {
+			if p.Amount < 0 {
+				t.Fatalf("negative amount %g", p.Amount)
+			}
+			if EURRate(p.Code) == 0 {
+				t.Fatalf("unknown code %q", p.Code)
+			}
+			if p.Raw == "" {
+				t.Fatal("empty raw match")
+			}
+			if m := p.MonthlyEUR(); m < 0 {
+				t.Fatalf("negative monthly %g", m)
+			}
+		}
+	})
+}

@@ -1,0 +1,315 @@
+package dom
+
+import (
+	"strings"
+
+	"cookiewalk/internal/htmlx"
+)
+
+// Parse builds a document tree from HTML source. It implements a
+// pragmatic subset of the WHATWG tree-construction algorithm:
+//
+//   - missing html/head/body elements are synthesized so that Body()
+//     always works on well-formed-ish pages;
+//   - void elements never take children;
+//   - a small implied-end-tag table closes <p>, <li>, <option>, <tr>,
+//     <td>/<th> the way browsers do;
+//   - unmatched end tags are ignored; unclosed elements are closed at
+//     EOF;
+//   - <template shadowrootmode="open|closed"> attaches a declarative
+//     shadow root to its parent element (the template element itself
+//     does not appear in the tree, matching browser behaviour).
+//
+// Parse never fails: like a browser, it produces a best-effort tree for
+// arbitrary input.
+func Parse(src string) *Node {
+	doc := NewDocument()
+	p := &parser{doc: doc, stack: []*Node{doc}}
+	z := htmlx.NewTokenizer(src)
+	for {
+		tok := z.Next()
+		if tok.Type == htmlx.ErrorToken {
+			break
+		}
+		p.process(tok)
+	}
+	p.ensureScaffold()
+	return doc
+}
+
+// ParseFragment parses src as a fragment (no html/head/body synthesis)
+// and returns the fragment root. Used for banner markup delivered by
+// CMP/SMP scripts, which is injected into an existing page.
+func ParseFragment(src string) *Node {
+	frag := NewDocument()
+	p := &parser{doc: frag, stack: []*Node{frag}, fragment: true}
+	z := htmlx.NewTokenizer(src)
+	for {
+		tok := z.Next()
+		if tok.Type == htmlx.ErrorToken {
+			break
+		}
+		p.process(tok)
+	}
+	return frag
+}
+
+type parser struct {
+	doc      *Node
+	stack    []*Node
+	fragment bool
+	// shadowDepth tracks how many declarative shadow templates are
+	// currently open, so end tags close the right scope.
+	shadowStack []*Node // the shadow Root fragments acting as insertion points
+}
+
+func (p *parser) top() *Node { return p.stack[len(p.stack)-1] }
+
+func (p *parser) push(n *Node) { p.stack = append(p.stack, n) }
+
+func (p *parser) pop() { p.stack = p.stack[:len(p.stack)-1] }
+
+func (p *parser) process(tok htmlx.Token) {
+	switch tok.Type {
+	case htmlx.TextToken:
+		if strings.TrimSpace(tok.Data) == "" && p.top().Type == DocumentNode {
+			return // inter-element whitespace at document level
+		}
+		p.ensureBodyForContent()
+		p.top().AppendChild(NewText(tok.Data))
+	case htmlx.CommentToken:
+		p.top().AppendChild(&Node{Type: CommentNode, Data: tok.Data})
+	case htmlx.DoctypeToken:
+		p.doc.AppendChild(&Node{Type: DoctypeNode, Data: tok.Data})
+	case htmlx.StartTagToken, htmlx.SelfClosingTagToken:
+		p.startTag(tok)
+	case htmlx.EndTagToken:
+		p.endTag(tok.Data)
+	}
+}
+
+// blockish elements implicitly close an open <p>.
+var closesP = map[string]bool{
+	"address": true, "article": true, "aside": true, "blockquote": true,
+	"div": true, "dl": true, "fieldset": true, "footer": true, "form": true,
+	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
+	"header": true, "hr": true, "main": true, "nav": true, "ol": true,
+	"p": true, "pre": true, "section": true, "table": true, "ul": true,
+}
+
+func (p *parser) startTag(tok htmlx.Token) {
+	name := tok.Data
+	if !p.fragment {
+		switch name {
+		case "html", "head", "body":
+			p.scaffoldElement(name, tok.Attr)
+			return
+		}
+		p.ensureBodyForElement(name)
+	}
+
+	// Implied end tags.
+	switch {
+	case closesP[name]:
+		p.closeImplied("p")
+	case name == "li":
+		p.closeImplied("li")
+	case name == "option":
+		p.closeImplied("option")
+	case name == "tr":
+		p.closeImplied("tr")
+	case name == "td" || name == "th":
+		p.closeImplied("td")
+		p.closeImplied("th")
+	}
+
+	// Declarative shadow DOM.
+	if name == "template" {
+		mode := shadowMode(tok)
+		if mode != "" && p.top().Type == ElementNode {
+			sr := p.top().AttachShadow(ShadowMode(mode))
+			p.push(sr.Root)
+			p.shadowStack = append(p.shadowStack, sr.Root)
+			return
+		}
+	}
+
+	el := &Node{Type: ElementNode, Tag: name, Attrs: tok.Attr}
+	p.top().AppendChild(el)
+	if tok.Type == htmlx.SelfClosingTagToken || htmlx.IsVoid(name) {
+		return
+	}
+	p.push(el)
+}
+
+func shadowMode(tok htmlx.Token) string {
+	if v, ok := tok.AttrVal("shadowrootmode"); ok {
+		v = strings.ToLower(v)
+		if v == "open" || v == "closed" {
+			return v
+		}
+	}
+	// Legacy attribute name used by early Chromium releases.
+	if v, ok := tok.AttrVal("shadowroot"); ok {
+		v = strings.ToLower(v)
+		if v == "open" || v == "closed" {
+			return v
+		}
+	}
+	return ""
+}
+
+// closeImplied pops the stack if the current node is the given tag.
+func (p *parser) closeImplied(tag string) {
+	if len(p.stack) > 1 && p.top().Type == ElementNode && p.top().Tag == tag {
+		p.pop()
+	}
+}
+
+func (p *parser) endTag(name string) {
+	if name == "template" && len(p.shadowStack) > 0 {
+		// Close the innermost declarative shadow scope: pop the stack
+		// down to (and including) the shadow fragment root.
+		root := p.shadowStack[len(p.shadowStack)-1]
+		for len(p.stack) > 1 {
+			t := p.top()
+			p.pop()
+			if t == root {
+				break
+			}
+		}
+		p.shadowStack = p.shadowStack[:len(p.shadowStack)-1]
+		return
+	}
+	// Find a matching open element; ignore the end tag if none.
+	for i := len(p.stack) - 1; i >= 1; i-- {
+		n := p.stack[i]
+		if n.Type == ElementNode && n.Tag == name {
+			p.stack = p.stack[:i]
+			return
+		}
+		if n.Type == DocumentNode {
+			return // never pop across a shadow boundary
+		}
+	}
+}
+
+// --- html/head/body scaffolding ----------------------------------------
+
+func (p *parser) htmlNode() *Node {
+	for c := p.doc.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == ElementNode && c.Tag == "html" {
+			return c
+		}
+	}
+	return nil
+}
+
+func childElement(n *Node, tag string) *Node {
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		if c.Type == ElementNode && c.Tag == tag {
+			return c
+		}
+	}
+	return nil
+}
+
+func (p *parser) scaffoldElement(name string, attrs []htmlx.Attribute) {
+	switch name {
+	case "html":
+		html := p.htmlNode()
+		if html == nil {
+			html = &Node{Type: ElementNode, Tag: "html", Attrs: attrs}
+			p.doc.AppendChild(html)
+		}
+		p.stack = []*Node{p.doc, html}
+	case "head":
+		html := p.requireHTML()
+		head := childElement(html, "head")
+		if head == nil {
+			head = &Node{Type: ElementNode, Tag: "head", Attrs: attrs}
+			html.AppendChild(head)
+		}
+		p.stack = []*Node{p.doc, html, head}
+	case "body":
+		html := p.requireHTML()
+		body := childElement(html, "body")
+		if body == nil {
+			body = &Node{Type: ElementNode, Tag: "body", Attrs: attrs}
+			html.AppendChild(body)
+		}
+		p.stack = []*Node{p.doc, html, body}
+	}
+}
+
+func (p *parser) requireHTML() *Node {
+	html := p.htmlNode()
+	if html == nil {
+		html = &Node{Type: ElementNode, Tag: "html"}
+		p.doc.AppendChild(html)
+	}
+	return html
+}
+
+// headOnly elements belong in <head> when no body is open yet.
+var headOnly = map[string]bool{
+	"title": true, "meta": true, "link": true, "style": true, "base": true,
+}
+
+// ensureBodyForElement makes sure an appropriate insertion point exists
+// before a non-scaffold element start tag: content at document level is
+// placed into head or body depending on the element, and a flow element
+// arriving while <head> is open closes head and opens body, the way
+// browsers do.
+func (p *parser) ensureBodyForElement(name string) {
+	top := p.top()
+	switch {
+	case top == p.doc:
+		html := p.requireHTML()
+		if headOnly[name] {
+			head := childElement(html, "head")
+			if head == nil {
+				head = &Node{Type: ElementNode, Tag: "head"}
+				html.AppendChild(head)
+			}
+			p.stack = []*Node{p.doc, html, head}
+			return
+		}
+		p.switchToBody(html)
+	case top.Type == ElementNode && top.Tag == "head" && !headOnly[name]:
+		p.switchToBody(p.requireHTML())
+	}
+}
+
+func (p *parser) switchToBody(html *Node) {
+	body := childElement(html, "body")
+	if body == nil {
+		body = &Node{Type: ElementNode, Tag: "body"}
+		html.AppendChild(body)
+	}
+	p.stack = []*Node{p.doc, html, body}
+}
+
+func (p *parser) ensureBodyForContent() {
+	if p.fragment {
+		return
+	}
+	if top := p.top(); top == p.doc || (top.Type == ElementNode && top.Tag == "head") {
+		p.switchToBody(p.requireHTML())
+	}
+}
+
+// ensureScaffold guarantees html/head/body exist after parsing.
+func (p *parser) ensureScaffold() {
+	if p.fragment {
+		return
+	}
+	html := p.requireHTML()
+	if childElement(html, "head") == nil {
+		head := &Node{Type: ElementNode, Tag: "head"}
+		html.InsertBefore(head, html.FirstChild)
+	}
+	if childElement(html, "body") == nil {
+		html.AppendChild(&Node{Type: ElementNode, Tag: "body"})
+	}
+}

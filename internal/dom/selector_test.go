@@ -1,0 +1,205 @@
+package dom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const selectorFixture = `
+<html><body>
+  <div id="wrap" class="outer">
+    <div class="banner consent" role="dialog" data-cmp="acme">
+      <p class="msg">We use cookies</p>
+      <button id="accept" class="btn primary" data-action="accept">Accept all</button>
+      <button id="reject" class="btn" data-action="reject">Reject</button>
+    </div>
+    <section>
+      <p>article text</p>
+      <a href="https://example.com/page">link</a>
+      <a href="/local">local</a>
+    </section>
+  </div>
+</body></html>`
+
+func fixture(t *testing.T) *Node {
+	t.Helper()
+	return Parse(selectorFixture)
+}
+
+func TestSelectorTag(t *testing.T) {
+	doc := fixture(t)
+	if n := len(doc.QuerySelectorAll("button")); n != 2 {
+		t.Fatalf("buttons = %d", n)
+	}
+}
+
+func TestSelectorID(t *testing.T) {
+	doc := fixture(t)
+	n := doc.QuerySelector("#accept")
+	if n == nil || n.Tag != "button" {
+		t.Fatalf("n = %v", n)
+	}
+}
+
+func TestSelectorClass(t *testing.T) {
+	doc := fixture(t)
+	if n := len(doc.QuerySelectorAll(".btn")); n != 2 {
+		t.Fatalf(".btn = %d", n)
+	}
+	if n := len(doc.QuerySelectorAll(".btn.primary")); n != 1 {
+		t.Fatalf(".btn.primary = %d", n)
+	}
+}
+
+func TestSelectorCompound(t *testing.T) {
+	doc := fixture(t)
+	n := doc.QuerySelector(`button.btn#accept[data-action=accept]`)
+	if n == nil {
+		t.Fatal("compound selector failed")
+	}
+}
+
+func TestSelectorAttr(t *testing.T) {
+	doc := fixture(t)
+	cases := map[string]int{
+		`[role]`:                 1,
+		`[role=dialog]`:          1,
+		`[data-action]`:          2,
+		`[data-action="reject"]`: 1,
+		`a[href^="https://"]`:    1,
+		`a[href$="/local"]`:      1,
+		`a[href*="example.com"]`: 1,
+		`[data-cmp*=acm]`:        1,
+		`[role=banner]`:          0,
+	}
+	for sel, want := range cases {
+		if got := len(doc.QuerySelectorAll(sel)); got != want {
+			t.Errorf("%s: got %d want %d", sel, got, want)
+		}
+	}
+}
+
+func TestSelectorDescendant(t *testing.T) {
+	doc := fixture(t)
+	if n := len(doc.QuerySelectorAll("div.banner button")); n != 2 {
+		t.Fatalf("descendant = %d", n)
+	}
+	if n := len(doc.QuerySelectorAll("section button")); n != 0 {
+		t.Fatalf("wrong scope = %d", n)
+	}
+}
+
+func TestSelectorChild(t *testing.T) {
+	doc := fixture(t)
+	if n := len(doc.QuerySelectorAll("#wrap > div.banner")); n != 1 {
+		t.Fatalf("child = %d", n)
+	}
+	// p.msg is a grandchild of #wrap, not a child.
+	if n := len(doc.QuerySelectorAll("#wrap > p.msg")); n != 0 {
+		t.Fatalf("child over-matched: %d", n)
+	}
+	if n := len(doc.QuerySelectorAll("#wrap p.msg")); n != 1 {
+		t.Fatalf("descendant fallback = %d", n)
+	}
+}
+
+func TestSelectorGroup(t *testing.T) {
+	doc := fixture(t)
+	if n := len(doc.QuerySelectorAll("#accept, #reject, section a")); n != 4 {
+		t.Fatalf("group = %d", n)
+	}
+}
+
+func TestSelectorUniversal(t *testing.T) {
+	doc := fixture(t)
+	banner := doc.QuerySelector("div.banner")
+	if n := len(banner.QuerySelectorAll("*")); n != 3 {
+		t.Fatalf("universal inside banner = %d", n)
+	}
+}
+
+func TestSelectorCaseInsensitiveTag(t *testing.T) {
+	doc := fixture(t)
+	if doc.QuerySelector("BUTTON#accept") == nil {
+		t.Fatal("upper-case tag must match")
+	}
+}
+
+func TestSelectorScope(t *testing.T) {
+	doc := fixture(t)
+	section := doc.QuerySelector("section")
+	if n := section.QuerySelector("a"); n == nil {
+		t.Fatal("scoped query failed")
+	}
+	// querySelector semantics: ancestor compounds may match nodes at or
+	// above the context element, results are filtered to descendants.
+	if section.QuerySelector("section a") == nil {
+		t.Fatal("anchor element itself should satisfy ancestor compound")
+	}
+	if section.QuerySelector("#wrap a") == nil {
+		t.Fatal("ancestors above the anchor should satisfy ancestor compound")
+	}
+	// But results are always descendants of the context node.
+	if section.QuerySelector("div.banner button") != nil {
+		t.Fatal("query returned a non-descendant")
+	}
+}
+
+func TestSelectorMatches(t *testing.T) {
+	doc := fixture(t)
+	btn := doc.ByID("accept")
+	sel := MustCompileSelector("div.banner > button.primary")
+	if !sel.Matches(btn) {
+		t.Fatal("Matches failed")
+	}
+	sel2 := MustCompileSelector("section > button")
+	if sel2.Matches(btn) {
+		t.Fatal("Matches over-matched")
+	}
+}
+
+func TestSelectorErrors(t *testing.T) {
+	bad := []string{"", "  ", ">", "div >", "#", ".", "[", "[=x]", "a,,b", "!!"}
+	for _, src := range bad {
+		if _, err := CompileSelector(src); err == nil {
+			t.Errorf("CompileSelector(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSelectorDoesNotCrossShadow(t *testing.T) {
+	doc := Parse(`<div id="host"><template shadowrootmode="open"><button class="pay">Pay</button></template></div>`)
+	if doc.QuerySelector("button.pay") != nil {
+		t.Fatal("selector crossed shadow boundary")
+	}
+	host := doc.ByID("host")
+	if host.Shadow.Root.QuerySelector("button.pay") == nil {
+		t.Fatal("direct shadow query failed")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustCompileSelector(">")
+}
+
+// Property: any selector that compiles can run against any document
+// without panicking.
+func TestQuickSelectorTotal(t *testing.T) {
+	doc := fixture(t)
+	f := func(s string) bool {
+		sel, err := CompileSelector(s)
+		if err != nil {
+			return true
+		}
+		_ = doc.QueryAll(sel)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

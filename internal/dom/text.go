@@ -1,0 +1,224 @@
+package dom
+
+import (
+	"strings"
+	"unicode"
+)
+
+// skipTextTags are elements whose text content is never user-visible.
+var skipTextTags = map[string]bool{
+	"script": true, "style": true, "template": true, "noscript": true,
+	"head": true, "title": true,
+}
+
+// blockTags separate words when extracting text, mirroring layout.
+var blockTags = map[string]bool{
+	"address": true, "article": true, "aside": true, "blockquote": true,
+	"br": true, "button": true, "div": true, "dl": true, "dt": true,
+	"dd": true, "fieldset": true, "footer": true, "form": true,
+	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
+	"header": true, "hr": true, "li": true, "main": true, "nav": true,
+	"ol": true, "option": true, "p": true, "pre": true, "section": true,
+	"select": true, "table": true, "td": true, "th": true, "tr": true,
+	"ul": true,
+}
+
+// Text returns the user-visible text of n's subtree with whitespace
+// normalized: runs of Unicode space (including NBSP from &nbsp;)
+// collapse to single ASCII spaces and block boundaries insert spaces.
+// It does not descend into shadow roots or iframes — callers that need
+// pierced text (the cookiewall detector) collect those explicitly.
+func (n *Node) Text() string {
+	var b strings.Builder
+	appendText(&b, n)
+	return NormalizeSpace(b.String())
+}
+
+func appendText(b *strings.Builder, n *Node) {
+	switch n.Type {
+	case TextNode:
+		b.WriteString(n.Data)
+		return
+	case CommentNode, DoctypeNode:
+		return
+	case ElementNode:
+		if skipTextTags[n.Tag] {
+			return
+		}
+		if blockTags[n.Tag] {
+			b.WriteByte(' ')
+		}
+	}
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		appendText(b, c)
+	}
+	if n.Type == ElementNode && blockTags[n.Tag] {
+		b.WriteByte(' ')
+	}
+}
+
+// DeepText returns the text of n's subtree including all shadow roots
+// and loaded iframe documents beneath it. This is what a screenshot
+// shows, and what manual annotation in the paper would read.
+func (n *Node) DeepText() string {
+	var parts []string
+	if t := n.Text(); t != "" {
+		parts = append(parts, t)
+	}
+	for _, sr := range n.ShadowRoots() {
+		if t := sr.Root.Text(); t != "" {
+			parts = append(parts, t)
+		}
+	}
+	for _, fd := range n.FrameDocs() {
+		if t := fd.Text(); t != "" {
+			parts = append(parts, t)
+		}
+	}
+	return NormalizeSpace(strings.Join(parts, " "))
+}
+
+// NormalizeSpace folds every run of Unicode whitespace (including
+// non-breaking spaces) into a single ASCII space and trims the ends.
+// Price matching depends on this: "3,99&nbsp;€" must compare equal to
+// "3,99 €".
+func NormalizeSpace(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	wrote := false
+	for _, r := range s {
+		if unicode.IsSpace(r) {
+			space = true
+			continue
+		}
+		if space && wrote {
+			b.WriteByte(' ')
+		}
+		space = false
+		wrote = true
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// --- inline style and visibility heuristics ------------------------------
+
+// StyleProps parses the element's style attribute into a property map
+// with lower-cased keys and trimmed values. Malformed declarations are
+// skipped.
+func (n *Node) StyleProps() map[string]string {
+	style, ok := n.Attr("style")
+	if !ok || style == "" {
+		return nil
+	}
+	props := make(map[string]string)
+	for _, decl := range strings.Split(style, ";") {
+		colon := strings.IndexByte(decl, ':')
+		if colon < 0 {
+			continue
+		}
+		key := strings.ToLower(strings.TrimSpace(decl[:colon]))
+		val := strings.TrimSpace(decl[colon+1:])
+		if key != "" && val != "" {
+			props[key] = val
+		}
+	}
+	return props
+}
+
+// Style returns one inline style property value ("" when absent).
+func (n *Node) Style(prop string) string {
+	return n.StyleProps()[strings.ToLower(prop)]
+}
+
+// IsDisplayed reports whether the node itself is displayed (no
+// display:none / visibility:hidden inline style, no hidden attribute).
+func (n *Node) IsDisplayed() bool {
+	if n.Type != ElementNode {
+		return true
+	}
+	if _, hidden := n.Attr("hidden"); hidden {
+		return false
+	}
+	props := n.StyleProps()
+	if props["display"] == "none" {
+		return false
+	}
+	if v := props["visibility"]; v == "hidden" || v == "collapse" {
+		return false
+	}
+	if props["opacity"] == "0" {
+		return false
+	}
+	return true
+}
+
+// IsVisible reports whether n and all its light-DOM ancestors are
+// displayed. Shadow hosts count as ancestors for nodes inside shadow
+// roots.
+func (n *Node) IsVisible() bool {
+	for cur := n; cur != nil; {
+		if !cur.IsDisplayed() {
+			return false
+		}
+		if cur.Parent != nil {
+			cur = cur.Parent
+			continue
+		}
+		// Climb out of a shadow fragment to its host.
+		if cur.Type == DocumentNode {
+			if host := hostOf(cur); host != nil {
+				cur = host
+				continue
+			}
+		}
+		break
+	}
+	return true
+}
+
+// hostOf returns the shadow host for a shadow fragment root, if this
+// document fragment is a shadow root.
+func hostOf(fragment *Node) *Node {
+	// The fragment keeps no back pointer; hosts are discovered by the
+	// ShadowRoot struct. We thread it via a hidden attribute-free map
+	// would be overkill: instead, shadow fragments are created only by
+	// AttachShadow, which we can detect by scanning the host chain.
+	// To keep this O(1), AttachShadow tags the fragment.
+	if fragment.shadowHost != nil {
+		return fragment.shadowHost
+	}
+	return nil
+}
+
+// IsOverlay reports whether the element looks like a page overlay:
+// position fixed/sticky/absolute with a z-index, or a dialog role, or
+// class/id hints commonly used by consent layers. This mirrors the
+// visual "covers the page" heuristic BannerClick applies.
+func (n *Node) IsOverlay() bool {
+	if n.Type != ElementNode {
+		return false
+	}
+	props := n.StyleProps()
+	pos := props["position"]
+	if pos == "fixed" || pos == "sticky" {
+		return true
+	}
+	if pos == "absolute" && props["z-index"] != "" {
+		return true
+	}
+	if role, _ := n.Attr("role"); role == "dialog" || role == "alertdialog" {
+		return true
+	}
+	if _, ok := n.Attr("aria-modal"); ok {
+		return true
+	}
+	hint := strings.ToLower(n.AttrOr("class", "") + " " + n.AttrOr("id", ""))
+	for _, kw := range []string{"overlay", "modal", "popup", "consent-layer", "cmp-container", "banner"} {
+		if strings.Contains(hint, kw) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+// Package htmlx implements an HTML5-flavoured tokenizer, character
+// reference (entity) decoding, and text escaping.
+//
+// The Go standard library has no HTML parser, and this project is
+// stdlib-only, so htmlx provides the lexical layer from scratch. It is
+// deliberately a pragmatic subset of the WHATWG tokenizer: it handles
+// everything real-world cookie banners and our synthetic web farm emit
+// — nested elements, single/double/unquoted attributes, comments,
+// doctypes, raw-text elements (script, style, title, textarea), named
+// and numeric character references — while skipping exotica such as
+// CDATA in foreign content and most parse-error recovery subtleties.
+//
+// Tree construction on top of these tokens lives in package dom,
+// mirroring the tokenizer/tree-builder split of the WHATWG spec.
+package htmlx
+
+import "strings"
+
+// TokenType identifies the kind of a Token.
+type TokenType int
+
+const (
+	// ErrorToken signals end of input (or an unrecoverable state).
+	ErrorToken TokenType = iota
+	// TextToken is a run of character data (entities already decoded).
+	TextToken
+	// StartTagToken is <name attr...>.
+	StartTagToken
+	// EndTagToken is </name>.
+	EndTagToken
+	// SelfClosingTagToken is <name attr.../>.
+	SelfClosingTagToken
+	// CommentToken is <!--data-->.
+	CommentToken
+	// DoctypeToken is <!DOCTYPE data>.
+	DoctypeToken
+)
+
+// String returns a human-readable name for the token type.
+func (t TokenType) String() string {
+	switch t {
+	case ErrorToken:
+		return "Error"
+	case TextToken:
+		return "Text"
+	case StartTagToken:
+		return "StartTag"
+	case EndTagToken:
+		return "EndTag"
+	case SelfClosingTagToken:
+		return "SelfClosingTag"
+	case CommentToken:
+		return "Comment"
+	case DoctypeToken:
+		return "Doctype"
+	}
+	return "Unknown"
+}
+
+// Attribute is a single key="value" pair on a tag. Keys are
+// lower-cased; values have character references decoded.
+type Attribute struct {
+	Key string
+	Val string
+}
+
+// Token is one lexical unit of HTML input.
+type Token struct {
+	Type TokenType
+	// Data is the tag name (lower-cased) for tag tokens, the text for
+	// TextToken, and the raw content for comments and doctypes.
+	Data string
+	Attr []Attribute
+}
+
+// AttrVal returns the value of the named attribute and whether it exists.
+func (t *Token) AttrVal(key string) (string, bool) {
+	for _, a := range t.Attr {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// voidElements are elements that never have end tags or children.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// IsVoid reports whether the element never takes children (e.g. <img>).
+func IsVoid(name string) bool { return voidElements[name] }
+
+// rawTextElements switch the tokenizer into raw-text mode: their content
+// is not parsed for tags until the matching close tag.
+var rawTextElements = map[string]bool{
+	"script": true, "style": true, "textarea": true, "title": true,
+	"xmp": true, "iframe-srcdoc": true,
+}
+
+// IsRawText reports whether the element's content is raw text.
+func IsRawText(name string) bool { return rawTextElements[name] }
+
+// EscapeText escapes s for use as HTML text content.
+func EscapeText(s string) string {
+	return textEscaper.Replace(s)
+}
+
+// EscapeAttr escapes s for use inside a double-quoted attribute value.
+func EscapeAttr(s string) string {
+	return attrEscaper.Replace(s)
+}
+
+var (
+	textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	attrEscaper = strings.NewReplacer("&", "&amp;", `"`, "&quot;", "<", "&lt;")
+)

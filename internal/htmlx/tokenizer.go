@@ -1,0 +1,332 @@
+package htmlx
+
+import "strings"
+
+// Tokenizer splits HTML input into Tokens. It operates on a string and
+// never mutates it; Tokens reference freshly built strings, so input
+// buffers may be reused by callers.
+//
+// Usage follows the x/net/html pattern:
+//
+//	z := htmlx.NewTokenizer(page)
+//	for {
+//		tok := z.Next()
+//		if tok.Type == htmlx.ErrorToken {
+//			break
+//		}
+//		...
+//	}
+type Tokenizer struct {
+	input string
+	pos   int
+	// rawTag, when non-empty, is the element name whose raw-text content
+	// we are inside (script, style, title, textarea, xmp).
+	rawTag string
+}
+
+// NewTokenizer returns a Tokenizer reading from input.
+func NewTokenizer(input string) *Tokenizer {
+	return &Tokenizer{input: input}
+}
+
+// Next returns the next token. At end of input it returns a token with
+// Type ErrorToken forever after.
+func (z *Tokenizer) Next() Token {
+	if z.pos >= len(z.input) {
+		return Token{Type: ErrorToken}
+	}
+	if z.rawTag != "" {
+		return z.nextRawText()
+	}
+	if z.input[z.pos] == '<' {
+		return z.nextTag()
+	}
+	return z.nextText()
+}
+
+// nextText consumes character data up to the next plausible tag-open.
+func (z *Tokenizer) nextText() Token {
+	start := z.pos
+	for z.pos < len(z.input) {
+		i := strings.IndexByte(z.input[z.pos:], '<')
+		if i < 0 {
+			z.pos = len(z.input)
+			break
+		}
+		z.pos += i
+		// Only '<' followed by a letter, '/', '!' or '?' opens markup;
+		// a bare '<' (e.g. "1 < 2") is text, per the HTML5 tokenizer.
+		if z.pos+1 < len(z.input) && isTagStarter(z.input[z.pos+1]) {
+			break
+		}
+		z.pos++
+	}
+	return Token{Type: TextToken, Data: UnescapeEntities(z.input[start:z.pos])}
+}
+
+func isTagStarter(c byte) bool {
+	return c == '/' || c == '!' || c == '?' || isASCIILetter(c)
+}
+
+func isASCIILetter(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// nextRawText consumes content inside a raw-text element until the
+// matching end tag, emitting the content first and the end tag on the
+// following call.
+func (z *Tokenizer) nextRawText() Token {
+	closer := "</" + z.rawTag
+	// asciiLower (not strings.ToLower): Unicode lowering re-encodes
+	// invalid UTF-8 bytes as U+FFFD and CHANGES STRING LENGTH, which
+	// would misalign idx against the raw input (found by fuzzing).
+	low := asciiLower(z.input[z.pos:])
+	idx := strings.Index(low, closer)
+	if idx < 0 {
+		// Unterminated raw text: everything remaining is content.
+		data := z.input[z.pos:]
+		z.pos = len(z.input)
+		z.rawTag = ""
+		return Token{Type: TextToken, Data: data}
+	}
+	if idx > 0 {
+		data := z.input[z.pos : z.pos+idx]
+		z.pos += idx
+		// Leave rawTag set; the next call re-finds the closer at idx 0.
+		return Token{Type: TextToken, Data: data}
+	}
+	// At the end tag itself.
+	name := z.rawTag
+	z.rawTag = ""
+	// Consume "</name" plus anything to '>'.
+	z.pos += len(closer)
+	if gt := strings.IndexByte(z.input[z.pos:], '>'); gt >= 0 {
+		z.pos += gt + 1
+	} else {
+		z.pos = len(z.input)
+	}
+	return Token{Type: EndTagToken, Data: name}
+}
+
+// nextTag handles everything that begins with '<'.
+func (z *Tokenizer) nextTag() Token {
+	// Invariant: z.input[z.pos] == '<'.
+	if z.pos+1 >= len(z.input) {
+		z.pos = len(z.input)
+		return Token{Type: TextToken, Data: "<"}
+	}
+	switch c := z.input[z.pos+1]; {
+	case c == '!':
+		return z.nextMarkupDeclaration()
+	case c == '?':
+		return z.nextBogusComment(z.pos + 2)
+	case c == '/':
+		return z.nextEndTag()
+	case isASCIILetter(c):
+		return z.nextStartTag()
+	default:
+		// Lone '<': emit as text (handled by nextText normally, but be
+		// defensive if called directly).
+		z.pos++
+		return Token{Type: TextToken, Data: "<"}
+	}
+}
+
+func (z *Tokenizer) nextMarkupDeclaration() Token {
+	rest := z.input[z.pos+2:]
+	switch {
+	case strings.HasPrefix(rest, "--"):
+		return z.nextComment()
+	case len(rest) >= 7 && strings.EqualFold(rest[:7], "doctype"):
+		end := strings.IndexByte(rest, '>')
+		if end < 0 {
+			z.pos = len(z.input)
+			return Token{Type: DoctypeToken, Data: strings.TrimSpace(rest[7:])}
+		}
+		tok := Token{Type: DoctypeToken, Data: strings.TrimSpace(rest[7:end])}
+		z.pos += 2 + end + 1
+		return tok
+	default:
+		return z.nextBogusComment(z.pos + 2)
+	}
+}
+
+func (z *Tokenizer) nextComment() Token {
+	// z.pos is at "<!--".
+	start := z.pos + 4
+	end := strings.Index(z.input[start:], "-->")
+	if end < 0 {
+		tok := Token{Type: CommentToken, Data: z.input[start:]}
+		z.pos = len(z.input)
+		return tok
+	}
+	tok := Token{Type: CommentToken, Data: z.input[start : start+end]}
+	z.pos = start + end + 3
+	return tok
+}
+
+// nextBogusComment consumes from start to the next '>' as a comment,
+// matching the spec's bogus-comment state (<? ... > and <!x ... >).
+func (z *Tokenizer) nextBogusComment(start int) Token {
+	end := strings.IndexByte(z.input[start:], '>')
+	if end < 0 {
+		tok := Token{Type: CommentToken, Data: z.input[start:]}
+		z.pos = len(z.input)
+		return tok
+	}
+	tok := Token{Type: CommentToken, Data: z.input[start : start+end]}
+	z.pos = start + end + 1
+	return tok
+}
+
+func (z *Tokenizer) nextEndTag() Token {
+	// z.pos at "</".
+	i := z.pos + 2
+	nameStart := i
+	for i < len(z.input) && isNameByte(z.input[i]) {
+		i++
+	}
+	name := strings.ToLower(z.input[nameStart:i])
+	// Skip to '>'.
+	for i < len(z.input) && z.input[i] != '>' {
+		i++
+	}
+	if i < len(z.input) {
+		i++
+	}
+	z.pos = i
+	if name == "" {
+		// "</>" — the spec drops it entirely; emit nothing by recursing.
+		return z.Next()
+	}
+	return Token{Type: EndTagToken, Data: name}
+}
+
+func (z *Tokenizer) nextStartTag() Token {
+	i := z.pos + 1
+	nameStart := i
+	for i < len(z.input) && isNameByte(z.input[i]) {
+		i++
+	}
+	name := strings.ToLower(z.input[nameStart:i])
+	tok := Token{Type: StartTagToken, Data: name}
+	// Attribute loop.
+	for {
+		i = skipSpace(z.input, i)
+		if i >= len(z.input) {
+			break
+		}
+		if z.input[i] == '>' {
+			i++
+			break
+		}
+		if z.input[i] == '/' {
+			// Possible self-closing.
+			if i+1 < len(z.input) && z.input[i+1] == '>' {
+				tok.Type = SelfClosingTagToken
+				i += 2
+				break
+			}
+			i++ // stray '/': skip
+			continue
+		}
+		var attr Attribute
+		attr, i = parseAttribute(z.input, i)
+		if attr.Key != "" && !hasAttr(tok.Attr, attr.Key) {
+			tok.Attr = append(tok.Attr, attr)
+		}
+	}
+	z.pos = i
+	if tok.Type == StartTagToken && IsRawText(name) {
+		z.rawTag = name
+	}
+	return tok
+}
+
+func hasAttr(attrs []Attribute, key string) bool {
+	for _, a := range attrs {
+		if a.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAttribute parses one attribute starting at s[i] and returns it
+// with the new position. The key is lower-cased and the value entity-
+// decoded.
+func parseAttribute(s string, i int) (Attribute, int) {
+	keyStart := i
+	for i < len(s) && !isAttrKeyEnd(s[i]) {
+		i++
+	}
+	key := strings.ToLower(s[keyStart:i])
+	i = skipSpace(s, i)
+	if i >= len(s) || s[i] != '=' {
+		return Attribute{Key: key}, i
+	}
+	i = skipSpace(s, i+1)
+	if i >= len(s) {
+		return Attribute{Key: key}, i
+	}
+	switch q := s[i]; q {
+	case '"', '\'':
+		i++
+		valStart := i
+		for i < len(s) && s[i] != q {
+			i++
+		}
+		val := UnescapeEntities(s[valStart:i])
+		if i < len(s) {
+			i++ // closing quote
+		}
+		return Attribute{Key: key, Val: val}, i
+	default:
+		valStart := i
+		for i < len(s) && !isSpaceByte(s[i]) && s[i] != '>' {
+			i++
+		}
+		return Attribute{Key: key, Val: UnescapeEntities(s[valStart:i])}, i
+	}
+}
+
+func isAttrKeyEnd(c byte) bool {
+	return isSpaceByte(c) || c == '=' || c == '>' || c == '/'
+}
+
+func isNameByte(c byte) bool {
+	return isASCIILetter(c) || (c >= '0' && c <= '9') || c == '-' || c == '_' || c == ':'
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+// asciiLower lower-cases A-Z byte-wise, preserving length even for
+// invalid UTF-8 input.
+func asciiLower(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}
+
+func skipSpace(s string, i int) int {
+	for i < len(s) && isSpaceByte(s[i]) {
+		i++
+	}
+	return i
+}

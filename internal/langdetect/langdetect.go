@@ -1,0 +1,147 @@
+// Package langdetect identifies the language of website text. It
+// substitutes for CLD3 in the paper (§4.1, "we inspect the language of
+// the cookiewall websites using CLD3 to characterize the main target
+// audience").
+//
+// The classifier is a weighted stopword scorer with diacritic hints:
+// function words are near-perfect discriminators for the languages the
+// study encounters (German, English, Italian, Swedish, French, Spanish,
+// Portuguese, Dutch, Danish, Afrikaans), they are extremely frequent,
+// and the approach is fully deterministic — no model files needed.
+package langdetect
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Result is a language detection outcome.
+type Result struct {
+	// Lang is an ISO 639-1 code, or "und" when undetermined.
+	Lang string
+	// Confidence is the winning share of the total score in [0,1].
+	Confidence float64
+}
+
+// Languages returns the ISO codes the detector can distinguish, sorted.
+func Languages() []string {
+	out := make([]string, 0, len(stopwords))
+	for l := range stopwords {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stopwords maps language code to highly frequent function words.
+// Words shared between languages (e.g. "in" de/en/it, "de" fr/es/pt/nl)
+// are fine: they contribute to several scores and the distinctive rest
+// decides.
+var stopwords = map[string][]string{
+	"de": {"und", "der", "die", "das", "nicht", "mit", "für", "auf", "ist",
+		"sie", "wir", "ein", "eine", "von", "zu", "den", "im", "auch",
+		"werden", "oder", "bei", "nur", "alle", "wird", "ihre", "unsere",
+		"können", "ohne", "mehr", "zur", "zum", "durch", "über"},
+	"en": {"the", "and", "of", "to", "in", "is", "you", "that", "it",
+		"for", "with", "are", "this", "your", "our", "all", "can",
+		"will", "more", "about", "use", "we", "on", "by", "or", "from"},
+	"it": {"il", "la", "di", "che", "e", "un", "una", "per", "con", "del",
+		"della", "sono", "non", "più", "questo", "nostro", "tutti",
+		"anche", "come", "dei", "delle", "gli", "nel", "alla", "senza"},
+	"sv": {"och", "att", "det", "som", "på", "är", "av", "för", "med",
+		"den", "till", "inte", "om", "ett", "vi", "du", "kan", "din",
+		"våra", "alla", "eller", "har", "från", "utan", "mer"},
+	"fr": {"le", "la", "les", "des", "et", "est", "vous", "que", "pour",
+		"dans", "une", "nous", "avec", "sur", "votre", "nos", "tous",
+		"pas", "plus", "aux", "ces", "sans", "être", "sont", "ou"},
+	"es": {"el", "la", "los", "las", "de", "que", "y", "en", "un", "una",
+		"es", "para", "con", "su", "por", "más", "como", "nuestro",
+		"todos", "sin", "usted", "puede", "este", "sobre", "o"},
+	"pt": {"o", "a", "os", "as", "de", "que", "e", "em", "um", "uma",
+		"é", "para", "com", "seu", "sua", "por", "mais", "como",
+		"nosso", "todos", "sem", "você", "pode", "este", "ou", "não"},
+	"nl": {"de", "het", "een", "en", "van", "is", "dat", "op", "te",
+		"met", "voor", "zijn", "niet", "aan", "ook", "als", "bij",
+		"naar", "uw", "onze", "alle", "kunnen", "zonder", "meer", "of"},
+	"da": {"og", "det", "at", "en", "den", "til", "er", "som", "på",
+		"de", "med", "for", "ikke", "der", "du", "vi", "kan", "din",
+		"vores", "alle", "eller", "har", "fra", "uden", "mere"},
+	"af": {"die", "en", "van", "het", "is", "vir", "wat", "nie", "met",
+		"op", "aan", "om", "ons", "jou", "alle", "kan", "word", "meer",
+		"sonder", "hierdie", "deur", "was", "sal", "u"},
+}
+
+// diacriticHints gives a bonus when a language-distinctive character
+// appears, disambiguating close relatives (sv/da, es/pt, de/nl).
+var diacriticHints = map[string][]rune{
+	"de": {'ß', 'ä', 'ö', 'ü'},
+	"sv": {'å', 'ä', 'ö'},
+	"da": {'å', 'æ', 'ø'},
+	"fr": {'ç', 'é', 'è', 'ê', 'à', 'ù'},
+	"es": {'ñ', '¿', '¡', 'ó', 'í'},
+	"pt": {'ã', 'õ', 'ç', 'ê', 'á'},
+	"it": {'à', 'è', 'ì', 'ò', 'ù'},
+}
+
+const diacriticBonus = 2.0
+
+// Detect identifies the language of text. Short or empty input returns
+// ("und", 0). Ties break deterministically in favour of the
+// alphabetically first language code.
+func Detect(text string) Result {
+	words := tokenize(text)
+	if len(words) < 3 {
+		return Result{Lang: "und"}
+	}
+	scores := make(map[string]float64, len(stopwords))
+	for lang, set := range stopwordSets {
+		var s float64
+		for _, w := range words {
+			if set[w] {
+				s++
+			}
+		}
+		scores[lang] = s
+	}
+	for lang, runes := range diacriticHints {
+		for _, r := range runes {
+			if strings.ContainsRune(text, r) {
+				scores[lang] += diacriticBonus
+			}
+		}
+	}
+	var total float64
+	best, bestScore := "und", 0.0
+	langs := Languages()
+	for _, lang := range langs {
+		s := scores[lang]
+		total += s
+		if s > bestScore {
+			best, bestScore = lang, s
+		}
+	}
+	if bestScore == 0 || total == 0 {
+		return Result{Lang: "und"}
+	}
+	return Result{Lang: best, Confidence: bestScore / total}
+}
+
+// stopwordSets is the set-form of stopwords, built once.
+var stopwordSets = func() map[string]map[string]bool {
+	m := make(map[string]map[string]bool, len(stopwords))
+	for lang, words := range stopwords {
+		set := make(map[string]bool, len(words))
+		for _, w := range words {
+			set[w] = true
+		}
+		m[lang] = set
+	}
+	return m
+}()
+
+func tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r)
+	})
+}

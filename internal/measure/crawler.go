@@ -1,0 +1,255 @@
+// Package measure orchestrates the paper's experiments on top of the
+// emulated browser and the banner detector: the eight-VP landscape
+// crawl (Table 1, Figures 1-3), detection-accuracy evaluation (§3),
+// the cookie comparisons (Figures 4 and 5), the ad-blocker bypass
+// experiment (§4.5), and prevalence rates (§4.1).
+//
+// Every crawl visits sites with a FRESH browser profile per visit
+// (cookie jar and all), matching OpenWPM's stateless mode, and runs
+// visits in parallel across a worker pool. Results are deterministic:
+// worker scheduling never influences outputs because visits are
+// independent and aggregation is order-stable.
+package measure
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+
+	"cookiewalk/internal/adblock"
+	"cookiewalk/internal/browser"
+	"cookiewalk/internal/categorize"
+	"cookiewalk/internal/cookies"
+	"cookiewalk/internal/core"
+	"cookiewalk/internal/langdetect"
+	"cookiewalk/internal/synthweb"
+	"cookiewalk/internal/trackdb"
+	"cookiewalk/internal/vantage"
+)
+
+// Crawler runs measurements against a registry through a transport.
+type Crawler struct {
+	// Reg provides targets, toplists and ground truth for accuracy
+	// audits. The detector itself never consults it.
+	Reg *synthweb.Registry
+	// Transport is normally webfarm.(*Farm).Transport().
+	Transport http.RoundTripper
+	// Workers bounds crawl parallelism (default: GOMAXPROCS).
+	Workers int
+}
+
+// New returns a Crawler.
+func New(reg *synthweb.Registry, transport http.RoundTripper) *Crawler {
+	return &Crawler{Reg: reg, Transport: transport}
+}
+
+func (c *Crawler) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Observation is the per-site outcome of one measurement visit.
+type Observation struct {
+	Domain string
+	VP     string
+	// Err is the transport error for unreachable/unknown hosts.
+	Err string
+
+	Kind       core.Kind
+	Source     core.Source
+	ShadowMode string
+	HasAccept  bool
+	HasReject  bool
+	HasSub     bool
+
+	// MatchedWords/PriceCount/MonthlyEUR describe the §3 classification
+	// evidence.
+	MatchedWords []string
+	PriceCount   int
+	MonthlyEUR   float64
+
+	// Language and Category are MEASURED from page text (CLD3 and
+	// FortiGuard substitutes), not read from the registry.
+	Language string
+	Category string
+
+	// Quirks from the bypass experiment.
+	AdblockPlea  bool
+	ScrollLocked bool
+}
+
+// TLD returns the domain's final label ("de", "com", ...), the unit of
+// Figure 2's rows.
+func (o Observation) TLD() string {
+	idx := strings.LastIndexByte(o.Domain, '.')
+	if idx < 0 {
+		return o.Domain
+	}
+	return o.Domain[idx+1:]
+}
+
+// VisitOpts configures a single visit.
+type VisitOpts struct {
+	// Visit labels the repetition for server-side jitter.
+	Visit string
+	// Blocker enables the uBlock stand-in.
+	Blocker *adblock.Engine
+}
+
+// Visit loads one site from one vantage point with a fresh profile and
+// analyzes its banner.
+func (c *Crawler) Visit(vp vantage.VP, domain string, opts VisitOpts) Observation {
+	obs := Observation{Domain: domain, VP: vp.Name}
+	b := browser.New(c.Transport, vp)
+	b.Visit = opts.Visit
+	b.Blocker = opts.Blocker
+	page, err := b.Open("https://" + domain + "/")
+	if err != nil {
+		obs.Err = err.Error()
+		return obs
+	}
+	det := core.Detect(page.Doc)
+	obs.Kind = det.Kind
+	obs.Source = det.Source
+	obs.ShadowMode = string(det.ShadowMode)
+	obs.HasAccept = det.AcceptButton != nil
+	obs.HasReject = det.RejectButton != nil
+	obs.HasSub = det.SubscribeButton != nil
+	obs.MatchedWords = det.MatchedWords
+	obs.PriceCount = len(det.Prices)
+	obs.MonthlyEUR = det.MonthlyEUR
+	obs.AdblockPlea = page.AdblockPlea
+	obs.ScrollLocked = page.ScrollLocked
+
+	if body := page.Doc.Body(); body != nil {
+		obs.Language = langdetect.Detect(body.Text()).Lang
+		// Categorize from the content area only: headers repeat the
+		// site name (which FortiGuard would not score) and banners
+		// carry consent vocabulary, both of which pollute keyword
+		// counting.
+		content := body
+		if m := page.Doc.QuerySelector("main"); m != nil {
+			content = m
+		}
+		obs.Category = categorize.Classify(content.Text())
+	}
+	return obs
+}
+
+// parallelMap runs fn over items with the crawler's worker pool and
+// returns results in input order.
+func parallelMap[T any](workers int, items []string, fn func(string) T) []T {
+	out := make([]T, len(items))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				out[i] = fn(items[i])
+			}
+		}()
+	}
+	for i := range items {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
+
+// CookieTally is the averaged per-site cookie triple of Figures 4/5.
+type CookieTally struct {
+	FirstParty float64
+	ThirdParty float64
+	Tracking   float64
+}
+
+// SiteCookies pairs a domain with its averaged tally.
+type SiteCookies struct {
+	Domain string
+	Tally  CookieTally
+	// Err is set when every repetition failed.
+	Err string
+}
+
+// InteractionMode selects what to click on the banner.
+type InteractionMode int
+
+const (
+	// ModeAccept clicks the accept button (consent to tracking).
+	ModeAccept InteractionMode = iota
+	// ModeSubscribe logs in with an SMP subscription (§4.4).
+	ModeSubscribe
+)
+
+// MeasureCookies visits each domain reps times from vp, performs the
+// interaction, and returns per-site average cookie tallies — the §4.3
+// methodology ("we repeat each measurement five times per website and
+// calculate the average number of cookies per website").
+func (c *Crawler) MeasureCookies(vp vantage.VP, domains []string, reps int, mode InteractionMode, smpToken string) []SiteCookies {
+	return parallelMap(c.workers(), domains, func(domain string) SiteCookies {
+		var sum CookieTally
+		ok := 0
+		var lastErr string
+		for rep := 0; rep < reps; rep++ {
+			tally, err := c.cookieVisit(vp, domain, rep, mode, smpToken)
+			if err != nil {
+				lastErr = err.Error()
+				continue
+			}
+			sum.FirstParty += float64(tally.FirstParty)
+			sum.ThirdParty += float64(tally.ThirdParty)
+			sum.Tracking += float64(tally.Tracking)
+			ok++
+		}
+		if ok == 0 {
+			return SiteCookies{Domain: domain, Err: lastErr}
+		}
+		n := float64(ok)
+		return SiteCookies{Domain: domain, Tally: CookieTally{
+			FirstParty: sum.FirstParty / n,
+			ThirdParty: sum.ThirdParty / n,
+			Tracking:   sum.Tracking / n,
+		}}
+	})
+}
+
+func (c *Crawler) cookieVisit(vp vantage.VP, domain string, rep int, mode InteractionMode, smpToken string) (cookies.Tally, error) {
+	b := browser.New(c.Transport, vp)
+	b.Visit = fmt.Sprintf("%s|%d|%s", vp.Name, rep, modeLabel(mode))
+	b.SMPToken = smpToken
+	page, err := b.Open("https://" + domain + "/")
+	if err != nil {
+		return cookies.Tally{}, err
+	}
+	det := core.Detect(page.Doc)
+	switch mode {
+	case ModeAccept:
+		if det.AcceptButton != nil {
+			if page, err = b.Click(page, det.AcceptButton); err != nil {
+				return cookies.Tally{}, err
+			}
+		}
+	case ModeSubscribe:
+		if det.SubscribeButton != nil {
+			if page, err = b.Click(page, det.SubscribeButton); err != nil {
+				return cookies.Tally{}, err
+			}
+		}
+	}
+	_ = page
+	return cookies.Count(b.Jar, domain, trackdb.IsTracking), nil
+}
+
+func modeLabel(m InteractionMode) string {
+	if m == ModeSubscribe {
+		return "sub"
+	}
+	return "accept"
+}

@@ -1,0 +1,234 @@
+package measure
+
+import (
+	"fmt"
+
+	"cookiewalk/internal/browser"
+	"cookiewalk/internal/core"
+	"cookiewalk/internal/vantage"
+)
+
+// This file implements the §5 discussion items as runnable
+// experiments: detection ablations (what an unmodified tool would
+// miss), Firefox-style automatic reject clicking (and how cookiewalls
+// defeat it), and consent revocation by cookie deletion.
+
+// Ablation quantifies detection coverage with parts of the pipeline
+// disabled.
+type Ablation struct {
+	// Full is the verified cookiewall count with the complete pipeline.
+	Full int
+	// NoShadow: without the shadow-DOM clone workaround.
+	NoShadow int
+	// NoFrames: without iframe traversal.
+	NoFrames int
+	// MainOnly: neither (roughly unmodified BannerClick).
+	MainOnly int
+}
+
+// RunAblation re-analyzes the verified cookiewall sites with reduced
+// detector configurations.
+func (c *Crawler) RunAblation(vp vantage.VP, wallDomains []string) Ablation {
+	type counts struct{ full, noShadow, noFrames, mainOnly bool }
+	results := parallelMap(c.workers(), wallDomains, func(domain string) counts {
+		b := browser.New(c.Transport, vp)
+		page, err := b.Open("https://" + domain + "/")
+		if err != nil {
+			return counts{}
+		}
+		wall := func(opts core.Options) bool {
+			return core.DetectWith(page.Doc, opts).Kind == core.KindCookiewall
+		}
+		return counts{
+			full:     wall(core.Options{}),
+			noShadow: wall(core.Options{SkipShadow: true}),
+			noFrames: wall(core.Options{SkipFrames: true}),
+			mainOnly: wall(core.Options{SkipShadow: true, SkipFrames: true}),
+		}
+	})
+	var a Ablation
+	for _, r := range results {
+		if r.full {
+			a.Full++
+		}
+		if r.noShadow {
+			a.NoShadow++
+		}
+		if r.noFrames {
+			a.NoFrames++
+		}
+		if r.mainOnly {
+			a.MainOnly++
+		}
+	}
+	return a
+}
+
+// AutoReject is the §5 "Firefox may soon reject cookie prompts
+// automatically" experiment: attempt to auto-click reject on every
+// banner and report where the scheme breaks down.
+type AutoReject struct {
+	Visited int
+	// Rejected: banners with a reject button that was clicked and
+	// dismissed the banner without setting tracking cookies.
+	Rejected int
+	// NoRejectOption: banners without any reject button — every
+	// cookiewall lands here, which is the paper's point: auto-reject
+	// cannot help against accept-or-pay.
+	NoRejectOption int
+	// NoBanner / Failed round out the accounting.
+	NoBanner int
+	Failed   int
+}
+
+// RunAutoReject visits each domain and tries the auto-reject policy.
+func (c *Crawler) RunAutoReject(vp vantage.VP, domains []string) AutoReject {
+	type outcome int
+	const (
+		outRejected outcome = iota
+		outNoReject
+		outNoBanner
+		outFailed
+	)
+	results := parallelMap(c.workers(), domains, func(domain string) outcome {
+		b := browser.New(c.Transport, vp)
+		page, err := b.Open("https://" + domain + "/")
+		if err != nil {
+			return outFailed
+		}
+		det := core.Detect(page.Doc)
+		if det.Kind == core.KindNone {
+			return outNoBanner
+		}
+		if det.RejectButton == nil {
+			return outNoReject
+		}
+		after, err := b.Click(page, det.RejectButton)
+		if err != nil {
+			return outFailed
+		}
+		if core.Detect(after.Doc).Kind != core.KindNone {
+			return outFailed // banner survived the reject click
+		}
+		return outRejected
+	})
+	var a AutoReject
+	a.Visited = len(results)
+	for _, r := range results {
+		switch r {
+		case outRejected:
+			a.Rejected++
+		case outNoReject:
+			a.NoRejectOption++
+		case outNoBanner:
+			a.NoBanner++
+		default:
+			a.Failed++
+		}
+	}
+	return a
+}
+
+// BotCheck quantifies the §3 limitation: "some websites identify web
+// crawlers as bots ... they may behave differently". The same sample
+// is visited with the OpenWPM-style mitigated user agent and with an
+// honest crawler identity.
+type BotCheck struct {
+	Sample int
+	// BannersMitigated / BannersNaive count sites showing any banner
+	// under each identity.
+	BannersMitigated int
+	BannersNaive     int
+	// BehaviourChanged counts sites whose banner appears only to the
+	// mitigated identity — the sites a naive crawler under-observes.
+	BehaviourChanged int
+}
+
+// RunBotCheck compares site behaviour under the two crawler identities.
+func (c *Crawler) RunBotCheck(vp vantage.VP, domains []string) BotCheck {
+	type pair struct{ mitigated, naive bool }
+	results := parallelMap(c.workers(), domains, func(domain string) pair {
+		showsBanner := func(ua string) bool {
+			b := browser.New(c.Transport, vp)
+			b.UserAgent = ua
+			page, err := b.Open("https://" + domain + "/")
+			if err != nil {
+				return false
+			}
+			return core.Detect(page.Doc).Kind != core.KindNone
+		}
+		return pair{
+			mitigated: showsBanner(browser.DefaultUserAgent),
+			naive:     showsBanner(browser.CrawlerUserAgent),
+		}
+	})
+	bc := BotCheck{Sample: len(results)}
+	for _, p := range results {
+		if p.mitigated {
+			bc.BannersMitigated++
+		}
+		if p.naive {
+			bc.BannersNaive++
+		}
+		if p.mitigated && !p.naive {
+			bc.BehaviourChanged++
+		}
+	}
+	return bc
+}
+
+// Revocation is the §5 "Revoking Cookiewall Acceptance" experiment:
+// after accepting, the banner only returns once cookies and local
+// storage are deleted.
+type Revocation struct {
+	Tested int
+	// GoneAfterAccept: banner absent on the post-accept reload.
+	GoneAfterAccept int
+	// BackAfterDeletion: banner shown again after clearing the jar.
+	BackAfterDeletion int
+	// PersistedWithoutDeletion: banner still absent on a later visit
+	// when cookies are kept — the reason users stay tracked.
+	PersistedWithoutDeletion int
+}
+
+// RunRevocation runs the accept -> revisit -> delete -> revisit flow.
+func (c *Crawler) RunRevocation(vp vantage.VP, domains []string) (Revocation, error) {
+	var r Revocation
+	for _, domain := range domains {
+		b := browser.New(c.Transport, vp)
+		page, err := b.Open("https://" + domain + "/")
+		if err != nil {
+			return r, fmt.Errorf("measure: revocation open %s: %w", domain, err)
+		}
+		det := core.Detect(page.Doc)
+		if det.Kind != core.KindCookiewall || det.AcceptButton == nil {
+			continue
+		}
+		r.Tested++
+		after, err := b.Click(page, det.AcceptButton)
+		if err != nil {
+			return r, fmt.Errorf("measure: revocation accept %s: %w", domain, err)
+		}
+		if core.Detect(after.Doc).Kind == core.KindNone {
+			r.GoneAfterAccept++
+		}
+		// Later visit with cookies kept: still no banner.
+		again, err := b.Open("https://" + domain + "/")
+		if err != nil {
+			return r, err
+		}
+		if core.Detect(again.Doc).Kind == core.KindNone {
+			r.PersistedWithoutDeletion++
+		}
+		// The §5 recipe: delete cookies (and local storage), revisit.
+		b.Jar.Clear()
+		fresh, err := b.Open("https://" + domain + "/")
+		if err != nil {
+			return r, err
+		}
+		if core.Detect(fresh.Doc).Kind == core.KindCookiewall {
+			r.BackAfterDeletion++
+		}
+	}
+	return r, nil
+}

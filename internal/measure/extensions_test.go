@@ -1,0 +1,126 @@
+package measure
+
+import (
+	"testing"
+)
+
+// wallDomainsFromFixture returns the verified cookiewall domains.
+func wallDomainsFromFixture(t *testing.T) []string {
+	c, l := fixture(t)
+	res, _ := l.Result("Germany")
+	var walls []string
+	for _, o := range c.Verified(res.Cookiewalls) {
+		walls = append(walls, o.Domain)
+	}
+	return walls
+}
+
+func TestAblationQuantifiesWorkaroundValue(t *testing.T) {
+	c, _ := fixture(t)
+	walls := wallDomainsFromFixture(t)
+	a := c.RunAblation(germanyVP(), walls)
+	if a.Full != 280 {
+		t.Fatalf("full pipeline = %d", a.Full)
+	}
+	// Without the shadow workaround the 76 shadow-DOM walls are lost.
+	if a.Full-a.NoShadow != 76 {
+		t.Errorf("shadow ablation missed %d, want 76", a.Full-a.NoShadow)
+	}
+	// Without iframe traversal the 132 iframe walls are lost.
+	if a.Full-a.NoFrames != 132 {
+		t.Errorf("frame ablation missed %d, want 132", a.Full-a.NoFrames)
+	}
+	// Stock tooling sees only the 72 main-DOM walls.
+	if a.MainOnly != 72 {
+		t.Errorf("main-only = %d, want 72", a.MainOnly)
+	}
+}
+
+func TestAutoRejectDefeatedByCookiewalls(t *testing.T) {
+	c, l := fixture(t)
+	walls := wallDomainsFromFixture(t)
+	res, _ := l.Result("Germany")
+	regulars := res.RegularAcceptDomains
+	if len(regulars) > 100 {
+		regulars = regulars[:100]
+	}
+	sample := append(append([]string{}, walls...), regulars...)
+	a := c.RunAutoReject(germanyVP(), sample)
+	if a.Visited != len(sample) {
+		t.Fatalf("visited = %d", a.Visited)
+	}
+	// Every cookiewall defeats auto-reject; decoy-free regulars reject
+	// fine.
+	if a.NoRejectOption != 280 {
+		t.Errorf("no-reject = %d, want 280 (all cookiewalls)", a.NoRejectOption)
+	}
+	if a.Rejected != len(regulars) {
+		t.Errorf("rejected = %d, want %d", a.Rejected, len(regulars))
+	}
+	if a.Failed != 0 {
+		t.Errorf("failed = %d", a.Failed)
+	}
+}
+
+func TestBotCheckFindsSensitiveSites(t *testing.T) {
+	c, l := fixture(t)
+	res, _ := l.Result("Germany")
+	sample := res.RegularAcceptDomains
+	bc := c.RunBotCheck(germanyVP(), sample)
+	if bc.Sample != len(sample) {
+		t.Fatalf("sample = %d", bc.Sample)
+	}
+	// Bot-sensitive sites hide banners from the naive crawler only.
+	if bc.BehaviourChanged == 0 {
+		t.Fatal("no bot-sensitive behaviour observed")
+	}
+	if bc.BannersNaive >= bc.BannersMitigated {
+		t.Fatalf("naive crawler saw %d >= mitigated %d",
+			bc.BannersNaive, bc.BannersMitigated)
+	}
+	// Ground truth cross-check: the delta equals the number of
+	// bot-sensitive sites in the sample.
+	wantDelta := 0
+	for _, d := range sample {
+		if s, ok := c.Reg.Site(d); ok && s.BotSensitive {
+			wantDelta++
+		}
+	}
+	if bc.BehaviourChanged != wantDelta {
+		t.Fatalf("behaviour changed on %d sites, ground truth %d",
+			bc.BehaviourChanged, wantDelta)
+	}
+}
+
+func TestCookiewallsNeverBotSensitive(t *testing.T) {
+	c, _ := fixture(t)
+	for _, s := range c.Reg.CookiewallSites() {
+		if s.BotSensitive {
+			t.Fatalf("%s: cookiewall marked bot-sensitive (would break Table 1)", s.Domain)
+		}
+	}
+}
+
+func TestRevocationRequiresCookieDeletion(t *testing.T) {
+	c, _ := fixture(t)
+	walls := wallDomainsFromFixture(t)[:25]
+	r, err := c.RunRevocation(germanyVP(), walls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tested != 25 {
+		t.Fatalf("tested = %d", r.Tested)
+	}
+	// Accepting dismisses the wall, revisits stay wall-free while
+	// cookies persist, and only deletion brings the choice back — the
+	// §5 observation verbatim.
+	if r.GoneAfterAccept != r.Tested {
+		t.Errorf("gone after accept: %d/%d", r.GoneAfterAccept, r.Tested)
+	}
+	if r.PersistedWithoutDeletion != r.Tested {
+		t.Errorf("persisted: %d/%d", r.PersistedWithoutDeletion, r.Tested)
+	}
+	if r.BackAfterDeletion != r.Tested {
+		t.Errorf("back after deletion: %d/%d", r.BackAfterDeletion, r.Tested)
+	}
+}

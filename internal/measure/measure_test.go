@@ -1,0 +1,409 @@
+package measure
+
+import (
+	"sync"
+	"testing"
+
+	"cookiewalk/internal/adblock"
+	"cookiewalk/internal/core"
+	"cookiewalk/internal/synthweb"
+	"cookiewalk/internal/vantage"
+	"cookiewalk/internal/webfarm"
+)
+
+// The integration fixture: a reduced-filler registry (cookiewall
+// structure is NEVER scaled, so all paper-exact assertions hold) and a
+// single landscape crawl shared across tests.
+var (
+	fixOnce    sync.Once
+	fixCrawler *Crawler
+	fixLand    *Landscape
+)
+
+func fixture(t *testing.T) (*Crawler, *Landscape) {
+	t.Helper()
+	fixOnce.Do(func() {
+		reg := synthweb.Generate(synthweb.Config{Seed: 42, FillerScale: 0.02})
+		farm := webfarm.New(reg)
+		fixCrawler = New(reg, farm.Transport())
+		fixLand = fixCrawler.Landscape(vantage.All(), reg.TargetList())
+	})
+	return fixCrawler, fixLand
+}
+
+func germanyVP() vantage.VP {
+	vp, _ := vantage.ByName("Germany")
+	return vp
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	c, l := fixture(t)
+	rows := c.Table1(l)
+	want := map[string]Table1Row{
+		"US East":      {VP: "US East", Cookiewalls: 197, Toplist: 0, CcTLD: 0, Language: 9},
+		"US West":      {VP: "US West", Cookiewalls: 199, Toplist: 0, CcTLD: 0, Language: 9},
+		"Brazil":       {VP: "Brazil", Cookiewalls: 196, Toplist: 0, CcTLD: 0, Language: 0},
+		"Germany":      {VP: "Germany", Cookiewalls: 280, Toplist: 259, CcTLD: 233, Language: 252},
+		"Sweden":       {VP: "Sweden", Cookiewalls: 276, Toplist: 15, CcTLD: 0, Language: 0},
+		"South Africa": {VP: "South Africa", Cookiewalls: 199, Toplist: 0, CcTLD: 0, Language: 0},
+		"India":        {VP: "India", Cookiewalls: 192, Toplist: 0, CcTLD: 0, Language: 10},
+		"Australia":    {VP: "Australia", Cookiewalls: 190, Toplist: 5, CcTLD: 0, Language: 10},
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		w := want[row.VP]
+		if row != w {
+			t.Errorf("%s: got %+v, want %+v", row.VP, row, w)
+		}
+	}
+}
+
+func TestAccuracyMatchesPaper(t *testing.T) {
+	c, l := fixture(t)
+	a := c.Accuracy(l, 1000, 42)
+	if a.Detected != 285 || a.TruePositives != 280 || a.FalsePositives != 5 {
+		t.Fatalf("audit = %+v", a)
+	}
+	if a.Precision < 0.982 || a.Precision > 0.983 {
+		t.Fatalf("precision = %.4f, paper reports 98.2%%", a.Precision)
+	}
+	// Random sample: perfect recall and precision within the sample
+	// (the paper found 6/6 with no false detections in its sample).
+	if a.SampleRecall != 1 {
+		t.Fatalf("sample recall = %g (detected %d of %d)",
+			a.SampleRecall, a.SampleDetected, a.SampleCookiewalls)
+	}
+	if a.SampleSize == 0 || a.SampleCookiewalls == 0 {
+		t.Fatalf("degenerate sample: %+v", a)
+	}
+}
+
+func TestEmbeddingSplitMatchesPaper(t *testing.T) {
+	c, l := fixture(t)
+	res, _ := l.Result("Germany")
+	verified := c.Verified(res.Cookiewalls)
+	var shadow, iframe, main int
+	for _, o := range verified {
+		switch o.Source {
+		case core.SourceShadowDOM:
+			shadow++
+		case core.SourceIFrame:
+			iframe++
+		case core.SourceMainDOM:
+			main++
+		}
+	}
+	if shadow != 76 || iframe != 132 || main != 72 {
+		t.Fatalf("embedding split = %d shadow / %d iframe / %d main, want 76/132/72",
+			shadow, iframe, main)
+	}
+}
+
+func TestCookiewallsHaveNoRejectButton(t *testing.T) {
+	c, l := fixture(t)
+	res, _ := l.Result("Germany")
+	for _, o := range c.Verified(res.Cookiewalls) {
+		if o.HasReject {
+			t.Fatalf("%s: cookiewall with reject button", o.Domain)
+		}
+		if !o.HasAccept {
+			t.Fatalf("%s: cookiewall without accept button", o.Domain)
+		}
+		if !o.HasSub {
+			t.Fatalf("%s: cookiewall without subscribe option", o.Domain)
+		}
+	}
+}
+
+func TestPricesMatchFigure2(t *testing.T) {
+	c, l := fixture(t)
+	res, _ := l.Result("Germany")
+	verified := c.Verified(res.Cookiewalls)
+	ps := Prices(verified)
+	if len(ps.Prices) != 280 {
+		t.Fatalf("prices detected on %d of 280 sites", len(ps.Prices))
+	}
+	if ps.ShareAtMost3 < 0.78 || ps.ShareAtMost3 > 0.82 {
+		t.Errorf("P(<=3 EUR) = %.3f, paper ~0.80", ps.ShareAtMost3)
+	}
+	if ps.ShareAtMost4 < 0.87 || ps.ShareAtMost4 > 0.92 {
+		t.Errorf("P(<=4 EUR) = %.3f, paper ~0.90", ps.ShareAtMost4)
+	}
+	// Heatmap spot checks against Figure 2: the .de column peaks at
+	// bucket 3 with 155 sites; .it sites are cheap.
+	if got := ps.PerTLDBuckets["de"][3]; got != 155 {
+		t.Errorf("de/bucket3 = %d, want 155", got)
+	}
+	if got := ps.PerTLDBuckets["it"][1]; got != 3 {
+		t.Errorf("it/bucket1 = %d, want 3", got)
+	}
+}
+
+func TestCategorySharesMatchFigure1(t *testing.T) {
+	c, l := fixture(t)
+	res, _ := l.Result("Germany")
+	verified := c.Verified(res.Cookiewalls)
+	shares := CategoryShares(verified, synthweb.Categories)
+	// News and Media: "more than one-fourth".
+	if shares["News and Media"] < 0.25 || shares["News and Media"] > 0.30 {
+		t.Errorf("news share = %.3f, paper >0.25", shares["News and Media"])
+	}
+	if shares["Business"] < 0.07 || shares["Business"] > 0.11 {
+		t.Errorf("business share = %.3f, paper ~0.09", shares["Business"])
+	}
+}
+
+func TestFigure4MatchesPaper(t *testing.T) {
+	c, l := fixture(t)
+	f := c.RunFigure4(l, germanyVP(), 2, 42)
+	if len(f.Cookiewall) != 280 {
+		t.Fatalf("cookiewall sites measured = %d", len(f.Cookiewall))
+	}
+	if len(f.Regular) != 280 {
+		t.Fatalf("regular sites measured = %d", len(f.Regular))
+	}
+	// Medians (paper: FP 15 vs 19, TP 6.8 vs 50.4, tracking 1 vs 43).
+	if m := f.RegularMedian.FirstParty; m < 12 || m > 18 {
+		t.Errorf("regular FP median = %.1f, paper ~15", m)
+	}
+	if m := f.CookiewallMedian.FirstParty; m < 15 || m > 23 {
+		t.Errorf("cookiewall FP median = %.1f, paper ~19", m)
+	}
+	if m := f.RegularMedian.ThirdParty; m < 4.5 || m > 9.5 {
+		t.Errorf("regular TP median = %.1f, paper ~6.8", m)
+	}
+	if m := f.CookiewallMedian.ThirdParty; m < 40 || m > 62 {
+		t.Errorf("cookiewall TP median = %.1f, paper ~50.4", m)
+	}
+	if m := f.RegularMedian.Tracking; m < 0.4 || m > 2 {
+		t.Errorf("regular tracking median = %.1f, paper ~1", m)
+	}
+	if m := f.CookiewallMedian.Tracking; m < 33 || m > 53 {
+		t.Errorf("cookiewall tracking median = %.1f, paper ~43", m)
+	}
+	if f.TrackingRatio < 25 || f.TrackingRatio > 70 {
+		t.Errorf("tracking ratio = %.1f, paper ~42x", f.TrackingRatio)
+	}
+	if f.ThirdPartyRatio < 5 || f.ThirdPartyRatio > 11 {
+		t.Errorf("third-party ratio = %.1f, paper ~6.4-7.4x", f.ThirdPartyRatio)
+	}
+}
+
+func TestFigure5MatchesPaper(t *testing.T) {
+	c, _ := fixture(t)
+	f, err := c.RunFigure5(germanyVP(), "contentpass", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Partners != 219 {
+		t.Fatalf("partners = %d, paper says 219", f.Partners)
+	}
+	// Subscribers see ZERO tracking cookies (the §4.4 headline).
+	if f.SubscriptionMedian.Tracking != 0 {
+		t.Fatalf("subscription tracking median = %g, must be 0",
+			f.SubscriptionMedian.Tracking)
+	}
+	for _, s := range f.Subscription {
+		if s.Err == "" && s.Tally.Tracking > 0 {
+			t.Fatalf("%s: subscriber saw %g tracking cookies", s.Domain, s.Tally.Tracking)
+		}
+	}
+	// Accept mode: median ~16 tracking, ~23.2 TP, ~13 FP; sub: 6 FP / 4.4 TP.
+	if m := f.AcceptMedian.Tracking; m < 13 || m > 19 {
+		t.Errorf("accept tracking median = %.1f, paper ~16", m)
+	}
+	if m := f.AcceptMedian.ThirdParty; m < 19 || m > 28 {
+		t.Errorf("accept TP median = %.1f, paper ~23.2", m)
+	}
+	if m := f.AcceptMedian.FirstParty; m < 10 || m > 16 {
+		t.Errorf("accept FP median = %.1f, paper ~13", m)
+	}
+	if m := f.SubscriptionMedian.FirstParty; m < 4 || m > 8 {
+		t.Errorf("sub FP median = %.1f, paper ~6", m)
+	}
+	if m := f.SubscriptionMedian.ThirdParty; m < 3 || m > 6 {
+		t.Errorf("sub TP median = %.1f, paper ~4.4", m)
+	}
+	// "Some websites send more than 100 tracking cookies."
+	if f.MaxTrackingAccept <= 100 {
+		t.Errorf("max tracking on accept = %.1f, paper >100", f.MaxTrackingAccept)
+	}
+}
+
+func TestBypassMatchesPaper(t *testing.T) {
+	c, l := fixture(t)
+	res, _ := l.Result("Germany")
+	var walls []string
+	for _, o := range c.Verified(res.Cookiewalls) {
+		walls = append(walls, o.Domain)
+	}
+	engine := adblock.NewEngine(adblock.BaseList(), adblock.AnnoyancesList())
+	b := c.RunBypass(germanyVP(), walls, 2, engine)
+	if b.Total != 280 {
+		t.Fatalf("total = %d", b.Total)
+	}
+	if b.FullyBlocked != 196 {
+		t.Fatalf("fully blocked = %d, paper says 196 (70%%)", b.FullyBlocked)
+	}
+	if b.BlockRate < 0.699 || b.BlockRate > 0.701 {
+		t.Fatalf("block rate = %.3f", b.BlockRate)
+	}
+	if len(b.AntiAdblockSites) != 1 || len(b.ScrollLockSites) != 1 {
+		t.Fatalf("quirks = %d anti-adblock, %d scroll-lock, want 1/1",
+			len(b.AntiAdblockSites), len(b.ScrollLockSites))
+	}
+}
+
+func TestPrevalenceStructure(t *testing.T) {
+	c, l := fixture(t)
+	overall, top1k, perCountry := c.Prevalence(l)
+	if overall <= 0 || top1k <= 0 {
+		t.Fatalf("rates: overall=%g top1k=%g", overall, top1k)
+	}
+	var de CountryPrevalence
+	for _, p := range perCountry {
+		if p.Country == "DE" {
+			de = p
+		}
+	}
+	if de.Cookiewalls != 259 {
+		t.Fatalf("DE cookiewalls = %d, want 259", de.Cookiewalls)
+	}
+	if de.Top1kCookiewalls != 80 {
+		t.Fatalf("DE top-1k cookiewalls = %d, want 80", de.Top1kCookiewalls)
+	}
+	// Top-1k rate always exceeds the full-list rate (§4.1: "more
+	// popular websites are more likely to show cookiewalls").
+	if de.Top1kRate <= de.Rate {
+		t.Fatalf("DE top1k rate %.4f <= overall %.4f", de.Top1kRate, de.Rate)
+	}
+}
+
+func TestFigure6NoCorrelation(t *testing.T) {
+	c, l := fixture(t)
+	res, _ := l.Result("Germany")
+	verified := c.Verified(res.Cookiewalls)
+	f := c.RunFigure4(l, germanyVP(), 1, 42)
+	corr, xs, ys := TrackingPriceCorrelation(verified, f.Cookiewall)
+	if len(xs) != len(ys) || corr.N < 200 {
+		t.Fatalf("joined %d sites", corr.N)
+	}
+	// Paper: "no meaningful linear correlation".
+	if corr.Pearson > 0.25 || corr.Pearson < -0.25 {
+		t.Fatalf("tracking-price Pearson = %.3f, paper finds none", corr.Pearson)
+	}
+	if corr.Spearman > 0.3 || corr.Spearman < -0.3 {
+		t.Fatalf("tracking-price Spearman = %.3f", corr.Spearman)
+	}
+}
+
+func TestBannerRatesEUHigher(t *testing.T) {
+	_, l := fixture(t)
+	rates := RatesPerVP(l)
+	if len(rates) != 8 {
+		t.Fatalf("rates = %d", len(rates))
+	}
+	var euMin, nonEUMax float64 = 1, 0
+	for _, r := range rates {
+		if r.BannerRate <= 0 || r.BannerRate >= 1 {
+			t.Fatalf("%s: rate %g out of range", r.VP, r.BannerRate)
+		}
+		if r.EU && r.BannerRate < euMin {
+			euMin = r.BannerRate
+		}
+		if !r.EU && r.BannerRate > nonEUMax {
+			nonEUMax = r.BannerRate
+		}
+	}
+	// Consistent with §4.1: EU vantage points see more consent UIs
+	// (the farm shows EU-only banners to Germany/Sweden).
+	if euMin <= nonEUMax {
+		t.Fatalf("EU min rate %.3f <= non-EU max rate %.3f", euMin, nonEUMax)
+	}
+}
+
+func TestLanguageMeasuredNotAssumed(t *testing.T) {
+	// Spot-check that the Language field comes from detection: the
+	// Brazilian-list pt site is classified pt by the detector.
+	c, l := fixture(t)
+	res, _ := l.Result("Germany")
+	found := false
+	for _, o := range c.Verified(res.Cookiewalls) {
+		s, _ := c.Reg.Site(o.Domain)
+		if _, on := s.OnList("BR"); on {
+			found = true
+			if o.Language != "pt" {
+				t.Fatalf("BR-list site language measured as %q", o.Language)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("BR-list cookiewall not detected from Germany")
+	}
+}
+
+func TestVisitUnreachable(t *testing.T) {
+	c, _ := fixture(t)
+	var unreachable string
+	for _, s := range c.Reg.Sites() {
+		if !s.Reachable {
+			unreachable = s.Domain
+			break
+		}
+	}
+	o := c.Visit(germanyVP(), unreachable, VisitOpts{})
+	if o.Err == "" {
+		t.Fatal("expected transport error")
+	}
+}
+
+func TestTable1SeedRobust(t *testing.T) {
+	// The measured Table 1 must come out identical for a completely
+	// different universe seed: detection results are structural, not
+	// seed-lucky. (Domains, page phrasing and jitter all differ; the
+	// marginals cannot.)
+	reg := synthweb.Generate(synthweb.Config{Seed: 987654321, FillerScale: 0.01})
+	farm := webfarm.New(reg)
+	c := New(reg, farm.Transport())
+	vps := []vantage.VP{}
+	for _, name := range []string{"Germany", "Australia"} {
+		vp, _ := vantage.ByName(name)
+		vps = append(vps, vp)
+	}
+	l := c.Landscape(vps, reg.TargetList())
+	rows := c.Table1(l)
+	for _, row := range rows {
+		switch row.VP {
+		case "Germany":
+			want := Table1Row{VP: "Germany", Cookiewalls: 280, Toplist: 259, CcTLD: 233, Language: 252}
+			if row != want {
+				t.Fatalf("Germany row with new seed: %+v", row)
+			}
+		case "Australia":
+			want := Table1Row{VP: "Australia", Cookiewalls: 190, Toplist: 5, CcTLD: 0, Language: 10}
+			if row != want {
+				t.Fatalf("Australia row with new seed: %+v", row)
+			}
+		}
+	}
+}
+
+func TestSampleStringsDeterministic(t *testing.T) {
+	pool := []string{"a", "b", "c", "d", "e", "f"}
+	s1 := sampleStrings(pool, 3, 7)
+	s2 := sampleStrings(pool, 3, 7)
+	if len(s1) != 3 {
+		t.Fatalf("len = %d", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	all := sampleStrings(pool, 99, 7)
+	if len(all) != len(pool) {
+		t.Fatal("oversized sample must return pool")
+	}
+}

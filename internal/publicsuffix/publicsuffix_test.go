@@ -1,0 +1,116 @@
+package publicsuffix
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestETLDPlusOne(t *testing.T) {
+	cases := map[string]string{
+		"www.spiegel.de":            "spiegel.de",
+		"spiegel.de":                "spiegel.de",
+		"news.bbc.co.uk":            "bbc.co.uk",
+		"bbc.co.uk":                 "bbc.co.uk",
+		"a.b.c.example.com.au":      "example.com.au",
+		"sync.trackpix1.example":    "trackpix1.example",
+		"pt.climate-data.org":       "climate-data.org",
+		"WWW.UPPER.DE":              "upper.de",
+		"trailing.dot.de.":          "dot.de",
+		"with.port.de:8443":         "port.de",
+		"deep.sub.domain.houses.at": "houses.at",
+	}
+	for in, want := range cases {
+		got, err := ETLDPlusOne(in)
+		if err != nil {
+			t.Errorf("ETLDPlusOne(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ETLDPlusOne(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestETLDPlusOneErrors(t *testing.T) {
+	for _, in := range []string{"", "de", "co.uk", "com", "example"} {
+		if got, err := ETLDPlusOne(in); err == nil {
+			t.Errorf("ETLDPlusOne(%q) = %q, want error", in, got)
+		}
+	}
+}
+
+func TestUnknownTLDFallback(t *testing.T) {
+	got, err := ETLDPlusOne("foo.bar.unknowntld")
+	if err != nil || got != "bar.unknowntld" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestPublicSuffix(t *testing.T) {
+	if s, ok := PublicSuffix("www.bbc.co.uk"); !ok || s != "co.uk" {
+		t.Fatalf("co.uk: %q %v", s, ok)
+	}
+	if s, ok := PublicSuffix("x.de"); !ok || s != "de" {
+		t.Fatalf("de: %q %v", s, ok)
+	}
+	if s, ok := PublicSuffix("a.veryunknown"); ok || s != "veryunknown" {
+		t.Fatalf("unknown: %q %v", s, ok)
+	}
+}
+
+func TestSameSite(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"www.spiegel.de", "abo.spiegel.de", true},
+		{"spiegel.de", "spiegel.de", true},
+		{"www.spiegel.de", "zeit.de", false},
+		{"sub.a.co.uk", "other.a.co.uk", true},
+		{"a.co.uk", "a.org.uk", false},
+		{"tracker.example", "site.de", false},
+		// Suffix-only hosts fall back to literal comparison.
+		{"de", "de", true},
+		{"de", "at", false},
+	}
+	for _, c := range cases {
+		if got := SameSite(c.a, c.b); got != c.want {
+			t.Errorf("SameSite(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsSuffix(t *testing.T) {
+	if !IsSuffix("de") || !IsSuffix("co.uk") || IsSuffix("spiegel.de") {
+		t.Fatal("IsSuffix misbehaves")
+	}
+}
+
+// Property: ETLDPlusOne is idempotent — applying it to its own output
+// returns the same value.
+func TestQuickIdempotent(t *testing.T) {
+	hosts := []string{
+		"a.b.c.de", "x.y.com.br", "www.site.co.za", "q.example",
+		"sub.domain.org", "t.co.in", "deep.nest.net.au",
+	}
+	for _, h := range hosts {
+		e1, err := ETLDPlusOne(h)
+		if err != nil {
+			t.Fatalf("%s: %v", h, err)
+		}
+		e2, err := ETLDPlusOne(e1)
+		if err != nil || e1 != e2 {
+			t.Fatalf("not idempotent: %s -> %s -> %s (%v)", h, e1, e2, err)
+		}
+	}
+}
+
+// Property: SameSite is symmetric.
+func TestQuickSameSiteSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return SameSite(a, b) == SameSite(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cookiewalk/internal/measure"
+	"cookiewalk/internal/stats"
+	"cookiewalk/internal/synthweb"
+)
+
+// Table1 renders the paper's Table 1.
+func Table1(rows []measure.Table1Row) string {
+	t := NewTable("Table 1: detected cookiewalls per vantage point",
+		"VP", "Cookiewalls", "Toplist", "ccTLD", "Language")
+	for _, r := range rows {
+		t.AddRow(r.VP, r.Cookiewalls, r.Toplist, r.CcTLD, r.Language)
+	}
+	return t.String()
+}
+
+// Figure1 renders the category distribution of cookiewall sites.
+func Figure1(shares map[string]float64) string {
+	t := NewTable("Figure 1: categories of websites showing cookiewalls",
+		"Category", "Share", "")
+	var max float64
+	for _, cat := range synthweb.Categories {
+		if shares[cat] > max {
+			max = shares[cat]
+		}
+	}
+	for _, cat := range synthweb.Categories {
+		t.AddRow(cat, fmt.Sprintf("%5.1f%%", shares[cat]*100), Bar(shares[cat], max, 30))
+	}
+	return t.String()
+}
+
+// Figure2 renders the price heatmap per TLD plus the ECDF line.
+func Figure2(ps measure.PriceStats) string {
+	var b strings.Builder
+	b.WriteString("Figure 2: monthly subscription price distribution\n")
+
+	// Heatmap: TLD rows sorted by site count ascending (paper order has
+	// .de last/largest).
+	type tldCount struct {
+		tld string
+		n   int
+	}
+	var tlds []tldCount
+	for tld, buckets := range ps.PerTLDBuckets {
+		n := 0
+		for _, c := range buckets {
+			n += c
+		}
+		tlds = append(tlds, tldCount{tld, n})
+	}
+	sort.Slice(tlds, func(i, j int) bool {
+		if tlds[i].n != tlds[j].n {
+			return tlds[i].n < tlds[j].n
+		}
+		return tlds[i].tld < tlds[j].tld
+	})
+	t := NewTable("  price buckets [EUR/month]",
+		"TLD", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10")
+	for _, tc := range tlds {
+		cells := []interface{}{tc.tld}
+		for bucket := 1; bucket <= 10; bucket++ {
+			if n := ps.PerTLDBuckets[tc.tld][bucket]; n > 0 {
+				cells = append(cells, n)
+			} else {
+				cells = append(cells, ".")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	b.WriteString(t.String())
+
+	// ECDF series.
+	b.WriteString("  ECDF: ")
+	for bucket := 1; bucket <= 10; bucket++ {
+		fmt.Fprintf(&b, "P(<=%d)=%.2f ", bucket, ps.ECDF.At(float64(bucket)+0.005))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  share <=3 EUR: %.1f%% (paper ~80%%), <=4 EUR: %.1f%% (paper ~90%%)\n",
+		ps.ShareAtMost3*100, ps.ShareAtMost4*100)
+	return b.String()
+}
+
+// Figure3 renders price-by-category (point sizes and means).
+func Figure3(byCat map[string][]float64) string {
+	t := NewTable("Figure 3: subscription price by website category",
+		"Category", "Sites", "MeanPrice", "MedianPrice", "Min", "Max")
+	for _, cat := range synthweb.Categories {
+		prices := byCat[cat]
+		if len(prices) == 0 {
+			continue
+		}
+		t.AddRow(cat, len(prices),
+			stats.Mean(prices), stats.Median(prices),
+			stats.Quantile(prices, 0), stats.Quantile(prices, 1))
+	}
+	return t.String()
+}
+
+// Figure4 renders the regular-vs-cookiewall cookie comparison.
+func Figure4(f measure.Figure4) string {
+	t := NewTable("Figure 4: average cookies, regular banner vs cookiewall sites (medians)",
+		"Population", "Sites", "FirstParty", "ThirdParty", "Tracking")
+	t.AddRow("Regular banner", len(f.Regular),
+		f.RegularMedian.FirstParty, f.RegularMedian.ThirdParty, f.RegularMedian.Tracking)
+	t.AddRow("Cookiewall", len(f.Cookiewall),
+		f.CookiewallMedian.FirstParty, f.CookiewallMedian.ThirdParty, f.CookiewallMedian.Tracking)
+	return t.String() + fmt.Sprintf(
+		"  third-party ratio: %.1fx   tracking ratio: %.1fx (paper: 6.4x / 42x)\n",
+		f.ThirdPartyRatio, f.TrackingRatio)
+}
+
+// Figure5 renders the SMP accept-vs-subscription comparison.
+func Figure5(f measure.Figure5) string {
+	t := NewTable(fmt.Sprintf("Figure 5: cookies on %s partner sites (%d partners, medians)",
+		f.Platform, f.Partners),
+		"Mode", "FirstParty", "ThirdParty", "Tracking")
+	t.AddRow("Accept", f.AcceptMedian.FirstParty, f.AcceptMedian.ThirdParty, f.AcceptMedian.Tracking)
+	t.AddRow("Subscription", f.SubscriptionMedian.FirstParty, f.SubscriptionMedian.ThirdParty, f.SubscriptionMedian.Tracking)
+	return t.String() + fmt.Sprintf(
+		"  max tracking cookies on accept: %.1f (paper: some sites >100)\n", f.MaxTrackingAccept)
+}
+
+// Figure6 renders the tracking-vs-price correlation.
+func Figure6(c measure.Correlation) string {
+	return fmt.Sprintf(
+		"Figure 6: tracking cookies vs subscription price\n  sites: %d   Pearson r = %+.3f   Spearman rho = %+.3f (paper: no meaningful linear correlation)\n",
+		c.N, c.Pearson, c.Spearman)
+}
+
+// BannerRatesReport renders per-VP consent-UI rates (§4.1's EU vs
+// non-EU prevalence cross-reference).
+func BannerRatesReport(rates []measure.BannerRates) string {
+	t := NewTable("Banner rates per vantage point (EU VPs see more consent UIs)",
+		"VP", "EU", "BannerRate")
+	for _, r := range rates {
+		t.AddRow(r.VP, r.EU, fmt.Sprintf("%.1f%%", r.BannerRate*100))
+	}
+	return t.String()
+}
+
+// AccuracyReport renders the §3 detection accuracy numbers.
+func AccuracyReport(a measure.Accuracy) string {
+	var b strings.Builder
+	b.WriteString("Detection accuracy (Section 3)\n")
+	fmt.Fprintf(&b, "  full audit:    %d detected, %d true / %d false -> precision %.1f%% (paper: 98.2%%)\n",
+		a.Detected, a.TruePositives, a.FalsePositives, a.Precision*100)
+	fmt.Fprintf(&b, "  random sample: %d domains, %d cookiewalls present, %d detected -> recall %.0f%%, precision %.0f%% (paper: 100%%/100%%)\n",
+		a.SampleSize, a.SampleCookiewalls, a.SampleDetected,
+		a.SampleRecall*100, a.SamplePrecision*100)
+	return b.String()
+}
+
+// BypassReport renders the §4.5 ad-blocker experiment.
+func BypassReport(bp measure.Bypass) string {
+	var b strings.Builder
+	b.WriteString("Bypassing cookiewalls with uBlock-style filter lists (Section 4.5)\n")
+	fmt.Fprintf(&b, "  %d of %d cookiewalls no longer displayed -> %.0f%% (paper: 196/280 = 70%%)\n",
+		bp.FullyBlocked, bp.Total, bp.BlockRate*100)
+	fmt.Fprintf(&b, "  still showing: %d sites\n", len(bp.StillShowing))
+	for _, d := range bp.AntiAdblockSites {
+		fmt.Fprintf(&b, "  quirk: %s detects the blocker and asks for deactivation\n", d)
+	}
+	for _, d := range bp.ScrollLockSites {
+		fmt.Fprintf(&b, "  quirk: %s is clickable but not scrollable\n", d)
+	}
+	return b.String()
+}
+
+// PrevalenceReport renders the §4.1 rates.
+func PrevalenceReport(overall, top1k float64, perCountry []measure.CountryPrevalence) string {
+	var b strings.Builder
+	b.WriteString("Cookiewall prevalence (Section 4.1)\n")
+	fmt.Fprintf(&b, "  overall: %.2f%% of targets (paper: 0.6%%)   top-1k aggregate: %.1f%% (paper: 1.7%%)\n",
+		overall*100, top1k*100)
+	t := NewTable("", "Country", "List", "Reachable", "Cookiewalls", "Rate", "Top1kRate")
+	for _, p := range perCountry {
+		t.AddRow(p.Country, p.ListSize, p.Reachable, p.Cookiewalls,
+			fmt.Sprintf("%.2f%%", p.Rate*100),
+			fmt.Sprintf("%.2f%%", p.Top1kRate*100))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// EmbeddingReport renders the §3 embedding split from verified
+// observations.
+func EmbeddingReport(obs []measure.Observation) string {
+	var shadow, iframe, main int
+	for _, o := range obs {
+		switch o.Source.String() {
+		case "shadow-dom":
+			shadow++
+		case "iframe":
+			iframe++
+		case "main-dom":
+			main++
+		}
+	}
+	return fmt.Sprintf(
+		"Banner embeddings (Section 3): %d shadow DOM, %d iframe, %d main DOM (paper: 76/132/72)\n",
+		shadow, iframe, main)
+}
+
+// SMPReport summarizes §4.4 platform partner counts.
+func SMPReport(platform string, partners, inTargets int) string {
+	return fmt.Sprintf("SMP %s: %d partner sites, %d within the top-10k target list\n",
+		platform, partners, inTargets)
+}

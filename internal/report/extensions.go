@@ -1,0 +1,61 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"cookiewalk/internal/measure"
+)
+
+// AblationReport renders the detection-ablation study.
+func AblationReport(a measure.Ablation) string {
+	var b strings.Builder
+	b.WriteString("Detection ablation: cookiewalls found with reduced pipelines\n")
+	t := NewTable("", "Pipeline", "Detected", "Missed")
+	row := func(name string, n int) {
+		t.AddRow(name, n, a.Full-n)
+	}
+	row("full (shadow DOM + iframes)", a.Full)
+	row("without shadow workaround", a.NoShadow)
+	row("without iframe traversal", a.NoFrames)
+	row("main DOM only (stock tooling)", a.MainOnly)
+	b.WriteString(t.String())
+	b.WriteString("  the paper's §3 extensions exist precisely because stock tools miss\n")
+	b.WriteString("  the shadow-DOM (76) and iframe (132) populations\n")
+	return b.String()
+}
+
+// AutoRejectReport renders the §5 automatic-reject experiment.
+func AutoRejectReport(a measure.AutoReject) string {
+	var b strings.Builder
+	b.WriteString("Automatic reject clicking (Section 5, Firefox-style)\n")
+	fmt.Fprintf(&b, "  visited: %d   rejected OK: %d   no banner: %d   failed: %d\n",
+		a.Visited, a.Rejected, a.NoBanner, a.Failed)
+	fmt.Fprintf(&b, "  NO REJECT OPTION (auto-reject defeated): %d — every accept-or-pay banner\n",
+		a.NoRejectOption)
+	return b.String()
+}
+
+// BotCheckReport renders the §3 bot-detection limitation experiment.
+func BotCheckReport(bc measure.BotCheck) string {
+	var b strings.Builder
+	b.WriteString("Bot-detection limitation (Section 3)\n")
+	fmt.Fprintf(&b, "  sample: %d sites   banners seen with mitigated UA: %d   with naive crawler UA: %d\n",
+		bc.Sample, bc.BannersMitigated, bc.BannersNaive)
+	fmt.Fprintf(&b, "  sites hiding their banner from the naive crawler: %d — why OpenWPM-style mitigation matters\n",
+		bc.BehaviourChanged)
+	return b.String()
+}
+
+// RevocationReport renders the §5 consent-revocation experiment.
+func RevocationReport(r measure.Revocation) string {
+	var b strings.Builder
+	b.WriteString("Revoking cookiewall acceptance (Section 5)\n")
+	fmt.Fprintf(&b, "  tested: %d cookiewall sites\n", r.Tested)
+	fmt.Fprintf(&b, "  banner gone after accept:             %d\n", r.GoneAfterAccept)
+	fmt.Fprintf(&b, "  still gone on revisit (cookies kept): %d — users stay tracked\n",
+		r.PersistedWithoutDeletion)
+	fmt.Fprintf(&b, "  banner back after deleting cookies:   %d — the only revocation path\n",
+		r.BackAfterDeletion)
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cookiewalk/internal/measure"
+)
+
+func TestAblationReport(t *testing.T) {
+	out := AblationReport(measure.Ablation{Full: 280, NoShadow: 204, NoFrames: 148, MainOnly: 72})
+	for _, want := range []string{"280", "204", "148", "72", "76", "132"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAutoRejectReport(t *testing.T) {
+	out := AutoRejectReport(measure.AutoReject{
+		Visited: 560, Rejected: 280, NoRejectOption: 280,
+	})
+	if !strings.Contains(out, "560") || !strings.Contains(out, "NO REJECT OPTION") {
+		t.Fatalf("autoreject:\n%s", out)
+	}
+}
+
+func TestRevocationReport(t *testing.T) {
+	out := RevocationReport(measure.Revocation{
+		Tested: 280, GoneAfterAccept: 280,
+		PersistedWithoutDeletion: 280, BackAfterDeletion: 280,
+	})
+	if !strings.Contains(out, "280 cookiewall sites") ||
+		!strings.Contains(out, "only revocation path") {
+		t.Fatalf("revocation:\n%s", out)
+	}
+}
+
+func TestBotCheckReport(t *testing.T) {
+	out := BotCheckReport(measure.BotCheck{
+		Sample: 1000, BannersMitigated: 1000, BannersNaive: 982, BehaviourChanged: 18,
+	})
+	if !strings.Contains(out, "1000") || !strings.Contains(out, "18") {
+		t.Fatalf("botcheck:\n%s", out)
+	}
+}
+
+func TestBannerRatesReport(t *testing.T) {
+	out := BannerRatesReport([]measure.BannerRates{
+		{VP: "Germany", EU: true, BannerRate: 0.81},
+		{VP: "India", EU: false, BannerRate: 0.62},
+	})
+	if !strings.Contains(out, "81.0%") || !strings.Contains(out, "62.0%") {
+		t.Fatalf("rates:\n%s", out)
+	}
+}
+
+func TestFigure3Render(t *testing.T) {
+	out := Figure3(map[string][]float64{
+		"News and Media": {2.99, 2.99, 8.99},
+		"Sports":         {1.99},
+	})
+	if !strings.Contains(out, "News and Media") || !strings.Contains(out, "Sports") {
+		t.Fatalf("figure 3:\n%s", out)
+	}
+	if !strings.Contains(out, "8.99") {
+		t.Fatalf("max price missing:\n%s", out)
+	}
+	// Categories without prices are omitted.
+	if strings.Contains(out, "Web-based Email") {
+		t.Fatal("empty category rendered")
+	}
+}
+
+func TestEmbeddingReportCounts(t *testing.T) {
+	// Construct observations through the measure types to exercise the
+	// counting path (not just the static footer).
+	obs := []measure.Observation{}
+	out := EmbeddingReport(obs)
+	if !strings.Contains(out, "0 shadow DOM, 0 iframe, 0 main DOM") {
+		t.Fatalf("embedding zero case:\n%s", out)
+	}
+}

@@ -1,0 +1,211 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cookiewalk/internal/measure"
+	"cookiewalk/internal/stats"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Title", "A", "LongHeader")
+	tb.AddRow("x", 1)
+	tb.AddRow("longer-cell", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Header, rule, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "A") || !strings.Contains(lines[1], "LongHeader") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.Contains(out, "2.5") {
+		t.Fatal("float cell missing")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		2.50:  "2.5",
+		3.00:  "3",
+		0.125: "0.12", // %.2f rounds half to even
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Fatalf("bar = %q", Bar(5, 10, 10))
+	}
+	if Bar(0, 10, 10) != "" {
+		t.Fatal("zero bar")
+	}
+	if Bar(100, 10, 10) != "##########" {
+		t.Fatal("clamped bar")
+	}
+	if Bar(0.01, 10, 10) != "#" {
+		t.Fatal("minimum bar")
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	out := Table1([]measure.Table1Row{
+		{VP: "Germany", Cookiewalls: 280, Toplist: 259, CcTLD: 233, Language: 252},
+	})
+	for _, want := range []string{"Germany", "280", "259", "233", "252", "Toplist"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1Render(t *testing.T) {
+	out := Figure1(map[string]float64{"News and Media": 0.27, "Business": 0.09})
+	if !strings.Contains(out, "News and Media") || !strings.Contains(out, "27.0%") {
+		t.Fatalf("figure 1 output:\n%s", out)
+	}
+	// The largest share gets the longest bar.
+	newsLine, bizLine := "", ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "News and Media") {
+			newsLine = l
+		}
+		if strings.Contains(l, "Business") {
+			bizLine = l
+		}
+	}
+	if strings.Count(newsLine, "#") <= strings.Count(bizLine, "#") {
+		t.Fatal("bar lengths not proportional")
+	}
+}
+
+func TestFigure2Render(t *testing.T) {
+	ps := measure.PriceStats{
+		Prices:        []float64{2.99, 2.99, 8.99},
+		PerTLDBuckets: map[string]map[int]int{"de": {3: 2}, "com": {9: 1}},
+	}
+	ps.ECDF = stats.NewECDF(ps.Prices)
+	ps.ShareAtMost3 = ps.ECDF.At(3.005)
+	ps.ShareAtMost4 = ps.ECDF.At(4.005)
+	out := Figure2(ps)
+	if !strings.Contains(out, "de") || !strings.Contains(out, "ECDF") {
+		t.Fatalf("figure 2 output:\n%s", out)
+	}
+	if !strings.Contains(out, "66.7%") {
+		t.Fatalf("share <=3 missing:\n%s", out)
+	}
+}
+
+func TestFigure4And5Render(t *testing.T) {
+	f4 := measure.Figure4{
+		RegularMedian:    measure.CookieTally{FirstParty: 15, ThirdParty: 6.8, Tracking: 1},
+		CookiewallMedian: measure.CookieTally{FirstParty: 19, ThirdParty: 50.4, Tracking: 43},
+		ThirdPartyRatio:  7.4, TrackingRatio: 43,
+	}
+	out := Figure4(f4)
+	if !strings.Contains(out, "50.4") || !strings.Contains(out, "43.0x") {
+		t.Fatalf("figure 4 output:\n%s", out)
+	}
+	f5 := measure.Figure5{Platform: "contentpass", Partners: 219,
+		AcceptMedian:       measure.CookieTally{FirstParty: 13, ThirdParty: 23.2, Tracking: 16},
+		SubscriptionMedian: measure.CookieTally{FirstParty: 6, ThirdParty: 4.4},
+		MaxTrackingAccept:  133,
+	}
+	out5 := Figure5(f5)
+	if !strings.Contains(out5, "contentpass") || !strings.Contains(out5, "219") {
+		t.Fatalf("figure 5 output:\n%s", out5)
+	}
+}
+
+func TestAccuracyAndBypassRender(t *testing.T) {
+	a := measure.Accuracy{Detected: 285, TruePositives: 280, FalsePositives: 5,
+		Precision: 0.98245, SampleSize: 1000, SampleCookiewalls: 6,
+		SampleDetected: 6, SampleRecall: 1, SamplePrecision: 1}
+	out := AccuracyReport(a)
+	if !strings.Contains(out, "98.2%") || !strings.Contains(out, "285") {
+		t.Fatalf("accuracy output:\n%s", out)
+	}
+	bp := measure.Bypass{Total: 280, FullyBlocked: 196, BlockRate: 0.7,
+		AntiAdblockSites: []string{"hausbau.de"}, ScrollLockSites: []string{"promi.de"}}
+	out2 := BypassReport(bp)
+	if !strings.Contains(out2, "196") || !strings.Contains(out2, "70%") ||
+		!strings.Contains(out2, "hausbau.de") {
+		t.Fatalf("bypass output:\n%s", out2)
+	}
+}
+
+func TestPrevalenceRender(t *testing.T) {
+	out := PrevalenceReport(0.0062, 0.017, []measure.CountryPrevalence{
+		{Country: "DE", ListSize: 10000, Reachable: 8930, Cookiewalls: 259,
+			Rate: 0.029, Top1kRate: 0.085},
+	})
+	if !strings.Contains(out, "0.62%") || !strings.Contains(out, "2.90%") ||
+		!strings.Contains(out, "8.50%") {
+		t.Fatalf("prevalence output:\n%s", out)
+	}
+}
+
+func TestFigure6AndEmbeddingRender(t *testing.T) {
+	out6 := Figure6(measure.Correlation{N: 280, Pearson: -0.02, Spearman: 0.01})
+	if !strings.Contains(out6, "-0.020") || !strings.Contains(out6, "+0.010") {
+		t.Fatalf("figure 6: %s", out6)
+	}
+	out := EmbeddingReport(nil)
+	if !strings.Contains(out, "76/132/72") {
+		t.Fatalf("embedding: %s", out)
+	}
+}
+
+func TestSMPReportRender(t *testing.T) {
+	out := SMPReport("contentpass", 219, 76)
+	if !strings.Contains(out, "219") || !strings.Contains(out, "76") {
+		t.Fatalf("smp: %s", out)
+	}
+}
+
+func TestBannerBox(t *testing.T) {
+	out := BannerBox("spiegel.de (via iframe)", "cookiewall",
+		"Mit Werbung weiterlesen oder werbefrei im Abo für 4,99 € pro Monat.",
+		[]string{"Akzeptieren", "Abonnieren"})
+	if !strings.Contains(out, "cookiewall") {
+		t.Fatal("kind missing")
+	}
+	if !strings.Contains(out, "[ Akzeptieren ]") || !strings.Contains(out, "[ Abonnieren ]") {
+		t.Fatalf("buttons missing:\n%s", out)
+	}
+	// Frame integrity: every body line has the same width.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var width int
+	for i, l := range lines[1:] { // skip title
+		if i == 0 {
+			width = len([]rune(l))
+		}
+		if len([]rune(l)) != width {
+			t.Fatalf("ragged box line %d: %q (want width %d)", i, l, width)
+		}
+	}
+}
+
+func TestBannerBoxLongWord(t *testing.T) {
+	out := BannerBox("x", "regular", strings.Repeat("ß", 200), nil)
+	for _, l := range strings.Split(out, "\n") {
+		if len([]rune(l)) > 72 {
+			t.Fatalf("overlong line: %q", l)
+		}
+	}
+}
+
+func TestWrapEmpty(t *testing.T) {
+	if got := wrap("", 10); len(got) != 1 || got[0] != "" {
+		t.Fatalf("wrap empty = %v", got)
+	}
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+)
+
+// BannerBox renders a detected banner as an ASCII "screenshot" — the
+// textual analogue of the paper's Appendix B (Figures 7 and 8, the
+// spiegel.de cookiewall and the guardian.co.uk regular banner).
+// Buttons are drawn as [ label ] chips under the wrapped banner text.
+func BannerBox(title, kind, text string, buttons []string) string {
+	const inner = 66
+	var b strings.Builder
+	border := "+" + strings.Repeat("-", inner+2) + "+\n"
+	writeLine := func(s string) {
+		b.WriteString("| ")
+		b.WriteString(s)
+		b.WriteString(strings.Repeat(" ", inner-lineWidth(s)))
+		b.WriteString(" |\n")
+	}
+	b.WriteString(title + " — " + kind + "\n")
+	b.WriteString(border)
+	for _, line := range wrap(text, inner) {
+		writeLine(line)
+	}
+	if len(buttons) > 0 {
+		writeLine("")
+		var chips []string
+		for _, label := range buttons {
+			chips = append(chips, "[ "+label+" ]")
+		}
+		for _, line := range wrap(strings.Join(chips, "   "), inner) {
+			writeLine(line)
+		}
+	}
+	b.WriteString(border)
+	return b.String()
+}
+
+// wrap breaks text into lines of at most width cells (rune-counted).
+func wrap(text string, width int) []string {
+	words := strings.Fields(text)
+	if len(words) == 0 {
+		return []string{""}
+	}
+	var lines []string
+	cur := ""
+	for _, w := range words {
+		switch {
+		case cur == "":
+			cur = w
+		case lineWidth(cur)+1+lineWidth(w) <= width:
+			cur += " " + w
+		default:
+			lines = append(lines, cur)
+			cur = w
+		}
+		// Hard-break pathological words.
+		for lineWidth(cur) > width {
+			r := []rune(cur)
+			lines = append(lines, string(r[:width]))
+			cur = string(r[width:])
+		}
+	}
+	lines = append(lines, cur)
+	return lines
+}
+
+// lineWidth counts runes (close enough for terminal alignment of the
+// languages in use).
+func lineWidth(s string) int { return len([]rune(s)) }

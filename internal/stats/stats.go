@@ -1,0 +1,204 @@
+// Package stats provides the small statistical toolkit the paper's
+// analysis needs: medians and means for Figures 4/5, ECDFs for
+// Figure 2, Pearson correlation for Figures 3/6, and histogram
+// bucketing helpers.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median (0 for empty input). For even lengths it
+// returns the mean of the two central values.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := sorted(xs)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return min(xs)
+	}
+	if q >= 1 {
+		return max(xs)
+	}
+	s := sorted(xs)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+func min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func sorted(xs []float64) []float64 {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return s
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF over the sample.
+func NewECDF(xs []float64) *ECDF {
+	return &ECDF{sorted: sorted(xs)}
+}
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// Count of values <= x via binary search for the first value > x.
+	idx := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// Points returns (x, P(X<=x)) pairs at every distinct sample value, for
+// plotting the Figure-2 red line.
+func (e *ECDF) Points() ([]float64, []float64) {
+	var xs, ps []float64
+	n := float64(len(e.sorted))
+	for i, v := range e.sorted {
+		if i+1 < len(e.sorted) && e.sorted[i+1] == v {
+			continue // emit each distinct value once, at its last index
+		}
+		xs = append(xs, v)
+		ps = append(ps, float64(i+1)/n)
+	}
+	return xs, ps
+}
+
+// Pearson returns the Pearson correlation coefficient of paired
+// samples. It returns 0 when fewer than two pairs exist or either
+// variance is zero.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation of paired samples —
+// the robustness companion to Pearson for Figure 6 (rank correlation
+// is insensitive to the heavy-tailed tracking-cookie distribution).
+func Spearman(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks returns average ranks (ties share the mean of their positions).
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Histogram counts values per integer bucket produced by bucketOf.
+func Histogram(xs []float64, bucketOf func(float64) int) map[int]int {
+	h := make(map[int]int)
+	for _, x := range xs {
+		h[bucketOf(x)]++
+	}
+	return h
+}
+
+// IntsToFloats converts a []int sample.
+func IntsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Ratio returns a/b, or 0 when b is 0 — for "42 times more tracking
+// cookies" style comparisons.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,219 @@
+// Package synthweb generates the synthetic web that stands in for the
+// live Internet: a deterministic registry of ~50k websites whose joint
+// attribute distribution (toplist country, TLD, language, category,
+// banner kind, cookiewall embedding, delivery provider, price, geo
+// policy, cookie behaviour) reproduces the marginals the paper reports.
+//
+// Ground truth lives here and is used for two things only: page
+// generation in package webfarm, and accuracy evaluation (§3's manual
+// verification). The detector never reads it.
+package synthweb
+
+import (
+	"cookiewalk/internal/currency"
+)
+
+// BannerKind is the ground-truth banner class of a site.
+type BannerKind int
+
+const (
+	// BannerNone means the site shows no consent UI.
+	BannerNone BannerKind = iota
+	// BannerRegular is a standard accept/reject cookie banner.
+	BannerRegular
+	// BannerCookiewall is an accept-or-pay banner without reject.
+	BannerCookiewall
+)
+
+// String implements fmt.Stringer.
+func (k BannerKind) String() string {
+	switch k {
+	case BannerRegular:
+		return "regular"
+	case BannerCookiewall:
+		return "cookiewall"
+	}
+	return "none"
+}
+
+// Embedding is how the banner is placed in the page (§3: of 280
+// cookiewalls, 76 use a shadow DOM, 132 iframes, 72 the main DOM).
+type Embedding int
+
+const (
+	// EmbedNone for sites without banners.
+	EmbedNone Embedding = iota
+	// EmbedMainDOM places banner markup directly in the document.
+	EmbedMainDOM
+	// EmbedIFrame loads the banner document from the provider origin.
+	EmbedIFrame
+	// EmbedShadowOpen uses an open declarative shadow root.
+	EmbedShadowOpen
+	// EmbedShadowClosed uses a closed declarative shadow root.
+	EmbedShadowClosed
+)
+
+// String implements fmt.Stringer.
+func (e Embedding) String() string {
+	switch e {
+	case EmbedMainDOM:
+		return "main-dom"
+	case EmbedIFrame:
+		return "iframe"
+	case EmbedShadowOpen:
+		return "shadow-open"
+	case EmbedShadowClosed:
+		return "shadow-closed"
+	}
+	return "none"
+}
+
+// InShadow reports whether the embedding uses a shadow root.
+func (e Embedding) InShadow() bool {
+	return e == EmbedShadowOpen || e == EmbedShadowClosed
+}
+
+// Provider identifies who delivers the banner markup. Providers with a
+// Host deliver from a third-party origin (blockable by filter lists);
+// the "local" provider serves everything first-party.
+type Provider struct {
+	// Name: "contentpass", "freechoice", "opencmp", "consentmango",
+	// "usercentrade", "cwkit", "purabo", "adfreepass", "nichewall",
+	// "tinycmp", or "local".
+	Name string
+	// Host is the third-party delivery host ("" for local delivery).
+	Host string
+	// Listed marks providers covered by the Annoyances filter list.
+	Listed bool
+	// SMP marks Subscription Management Platforms.
+	SMP bool
+}
+
+// ScriptURL returns the loader URL partner pages reference, or "" for
+// local delivery.
+func (p Provider) ScriptURL() string {
+	if p.Host == "" {
+		return ""
+	}
+	return "https://" + p.Host + "/cw.js"
+}
+
+// Providers in deterministic order. The Listed flags must stay in sync
+// with adblock.AnnoyancesList.
+var providerTable = []Provider{
+	{Name: "contentpass", Host: "cdn.contentpass.example", Listed: true, SMP: true},
+	{Name: "freechoice", Host: "cdn.freechoice.example", Listed: true, SMP: true},
+	{Name: "opencmp", Host: "cdn.opencmp.example", Listed: true},
+	{Name: "consentmango", Host: "cmp.consentmango.example", Listed: true},
+	{Name: "usercentrade", Host: "app.usercentrade.example", Listed: true},
+	{Name: "cwkit", Host: "cwkit.example", Listed: true},
+	{Name: "purabo", Host: "purabo.example", Listed: true},
+	{Name: "adfreepass", Host: "adfreepass.example", Listed: true},
+	{Name: "nichewall", Host: "nichewall.example", Listed: false},
+	{Name: "tinycmp", Host: "tinycmp.example", Listed: false},
+	{Name: "local", Host: "", Listed: false},
+}
+
+// ProviderByName returns the named provider definition.
+func ProviderByName(name string) (Provider, bool) {
+	for _, p := range providerTable {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Provider{}, false
+}
+
+// CookieProfile is a site's per-visit cookie-count baseline. Actual
+// counts per visit get deterministic per-repetition jitter.
+type CookieProfile struct {
+	// PreConsentFP first-party cookies before any interaction.
+	PreConsentFP int
+	// PostFP first-party cookies after accepting.
+	PostFP int
+	// PostBenignTP third-party cookies from non-blocklisted domains
+	// after accepting.
+	PostBenignTP int
+	// PostTracking cookies from blocklisted tracker domains after
+	// accepting.
+	PostTracking int
+	// SubFP / SubBenignTP apply when visiting with a valid SMP
+	// subscription (tracking is zero by construction, §4.4).
+	SubFP       int
+	SubBenignTP int
+}
+
+// Site is one synthetic website.
+type Site struct {
+	// Domain is the registrable domain, e.g. "nachrichten-heute24.de".
+	Domain string
+	// TLD is the effective TLD label used in Figure 2 ("de", "com", ...).
+	TLD string
+	// Language is the ISO 639-1 code of the page text.
+	Language string
+	// Category is one of the 15 FortiGuard-style categories + "Others".
+	Category string
+
+	Banner    BannerKind
+	Embedding Embedding
+	Provider  Provider
+
+	// Price fields are set for cookiewalls only. PriceAmount is in the
+	// display currency; MonthlyEUR is the normalized ground truth.
+	PriceAmount   float64
+	PriceCurrency string
+	PricePeriod   currency.Period
+	MonthlyEUR    float64
+
+	// ShowToVPs restricts cookiewall/banner display to these VP names;
+	// nil means show everywhere. Regular banners use the same policy
+	// mechanism (EU-only banners are common).
+	ShowToVPs []string
+
+	// Lists maps country code -> rank bucket (1000 or 10000) for the
+	// CrUX-style toplists the site appears on.
+	Lists map[string]int
+	// Reachable marks the site as crawlable; unreachable sites fail
+	// every request (the paper's ~11% per-list unreachable share).
+	Reachable bool
+
+	Cookies CookieProfile
+
+	// Decoy marks the five regular-banner sites whose text advertises a
+	// priced newsletter subscription — the detector's false positives.
+	Decoy bool
+	// BotSensitive sites detect crawler user agents and hide their
+	// banner — the §3 limitation ("websites may behave differently"
+	// when they detect a crawler). Never set on cookiewall sites.
+	BotSensitive bool
+	// AntiAdblock: detects content blockers and asks for deactivation
+	// (the hausbau-forum.de case in §4.5).
+	AntiAdblock bool
+	// ScrollLock: page is clickable but not scrollable under a blocker
+	// (the promipool.de case in §4.5).
+	ScrollLock bool
+}
+
+// ShowsBannerTo reports whether the site presents its banner to a
+// visitor from the named vantage point.
+func (s *Site) ShowsBannerTo(vpName string) bool {
+	if s.Banner == BannerNone {
+		return false
+	}
+	if len(s.ShowToVPs) == 0 {
+		return true
+	}
+	for _, v := range s.ShowToVPs {
+		if v == vpName {
+			return true
+		}
+	}
+	return false
+}
+
+// OnList reports whether the site is on the country's toplist, and in
+// which bucket (1000 or 10000).
+func (s *Site) OnList(country string) (int, bool) {
+	b, ok := s.Lists[country]
+	return b, ok
+}

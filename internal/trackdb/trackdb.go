@@ -1,0 +1,123 @@
+// Package trackdb embeds the tracking-domain blocklist used to classify
+// tracking cookies, mirroring the role of the justdomains DOMAIN-ONLY
+// lists in the paper (§4.3): "If the cookie domain matches one of the
+// domains in the justdomains list, we classify it as a tracking cookie."
+//
+// The list contains (a) a handful of real-world tracker domains so the
+// matching semantics are exercised against realistic entries, and (b)
+// the synthetic tracker domains that the web farm's pages embed. The
+// farm also uses third-party domains that are NOT listed (CDNs, widget
+// hosts), so third-party and tracking counts differ, as in the paper.
+package trackdb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"cookiewalk/internal/publicsuffix"
+)
+
+// realWorld are authentic tracker eTLD+1s included for fidelity of the
+// list format; the synthetic farm never contacts them.
+var realWorld = []string{
+	"doubleclick.net",
+	"adnxs.com",
+	"criteo.com",
+	"scorecardresearch.com",
+	"quantserve.com",
+	"rubiconproject.com",
+	"pubmatic.com",
+	"taboola.com",
+	"outbrain.com",
+	"hotjar.com",
+}
+
+// syntheticTrackers are the tracker domains the web farm embeds on
+// pages after consent. All live under the reserved .example TLD.
+var syntheticTrackers = []string{
+	"trackpix1.example", "trackpix2.example", "trackpix3.example",
+	"adsync1.example", "adsync2.example", "adsync3.example",
+	"behaviourads.example", "retargetly.example", "audiencegrid.example",
+	"clickstreamer.example", "profilebeam.example", "datavacuum.example",
+	"pixelbarn.example", "cookiemonger.example", "surveilly.example",
+	"admetricspro.example", "bidexchange.example", "impressionlog.example",
+	"userfingerprint.example", "crossdevice.example", "heatmapify.example",
+	"sessionspy.example", "conversionpix.example", "remarketer.example",
+	"adfunnel.example", "trafficshare.example", "viewabilitynet.example",
+	"programmaticx.example", "rtbcluster.example", "tagmanagerx.example",
+	"syncpixel.example", "idgraphr.example", "attributionhub.example",
+	"panelmetrics.example", "scrolldepth.example", "engagementlog.example",
+	"popunderads.example", "nativeadsrv.example", "videopixel.example",
+	"geobeacon.example",
+}
+
+// benignThirdParty are third-party domains embedded by pages that are
+// NOT on the blocklist: content CDNs, fonts, widgets. Cookies from
+// these count as third-party but never as tracking.
+var benignThirdParty = []string{
+	"cdnassets.example", "staticfarm.example", "fontlibrary.example",
+	"imagecache.example", "videohost.example", "commentwidget.example",
+	"weatherwidget.example", "mapembed.example", "searchbox.example",
+	"newsletterbox.example", "paymentsafe.example", "captchaserv.example",
+}
+
+var (
+	once  sync.Once
+	index map[string]bool
+)
+
+func buildIndex() {
+	index = make(map[string]bool, len(realWorld)+len(syntheticTrackers))
+	for _, d := range realWorld {
+		index[d] = true
+	}
+	for _, d := range syntheticTrackers {
+		index[d] = true
+	}
+}
+
+// IsTracking reports whether domain (or the registrable domain it
+// belongs to) is on the blocklist. Subdomains of listed domains match,
+// exactly like justdomains list consumers behave.
+func IsTracking(domain string) bool {
+	once.Do(buildIndex)
+	d := strings.ToLower(strings.TrimSuffix(strings.TrimSpace(domain), "."))
+	if d == "" {
+		return false
+	}
+	if index[d] {
+		return true
+	}
+	if e, err := publicsuffix.ETLDPlusOne(d); err == nil && index[e] {
+		return true
+	}
+	return false
+}
+
+// Domains returns the full blocklist, sorted.
+func Domains() []string {
+	once.Do(buildIndex)
+	out := make([]string, 0, len(index))
+	for d := range index {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TrackerPool returns the synthetic tracker domains for farm page
+// generation (all blocklisted).
+func TrackerPool() []string {
+	out := make([]string, len(syntheticTrackers))
+	copy(out, syntheticTrackers)
+	return out
+}
+
+// BenignPool returns the non-blocklisted third-party domains for farm
+// page generation.
+func BenignPool() []string {
+	out := make([]string, len(benignThirdParty))
+	copy(out, benignThirdParty)
+	return out
+}

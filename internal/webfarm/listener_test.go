@@ -1,0 +1,66 @@
+package webfarm
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cookiewalk/internal/synthweb"
+	"cookiewalk/internal/vantage"
+)
+
+// TestRealListener serves the farm on an actual TCP socket and speaks
+// real HTTP to it — proving the handler is not recorder-only and that
+// cmd/webfarm's deployment mode works end to end.
+func TestRealListener(t *testing.T) {
+	srv := httptest.NewServer(testFarm)
+	defer srv.Close()
+
+	site := pickCookiewall(t, func(s *synthweb.Site) bool {
+		return s.Provider.Name == "local" && s.Embedding == synthweb.EmbedMainDOM
+	})
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Host = site.Domain // virtual hosting, as curl -H 'Host: ...'
+	req.Header.Set(vantage.GeoHeader, "Germany")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "cw-banner") {
+		t.Fatal("banner missing over real HTTP")
+	}
+	if len(resp.Header.Values("Set-Cookie")) == 0 {
+		t.Fatal("no cookies over real HTTP")
+	}
+
+	// The consent POST also works over the wire.
+	preq, err := http.NewRequest(http.MethodPost, srv.URL+"/consent",
+		strings.NewReader("choice=accept"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preq.Host = site.Domain
+	preq.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	presp, err := http.DefaultTransport.RoundTrip(preq) // no redirect following
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusSeeOther {
+		t.Fatalf("consent status %d", presp.StatusCode)
+	}
+}

@@ -1,0 +1,314 @@
+package webfarm
+
+import (
+	"fmt"
+	"strings"
+
+	"cookiewalk/internal/categorize"
+	"cookiewalk/internal/htmlx"
+	"cookiewalk/internal/synthweb"
+	"cookiewalk/internal/xrand"
+)
+
+// pageState is everything the renderer needs for one site request.
+type pageState struct {
+	site       *synthweb.Site
+	vpName     string // visitor's vantage point ("" = unknown region)
+	visit      string // jitter label ("" = no jitter)
+	consented  bool
+	rejected   bool
+	subscribed bool
+	// botUA marks crawler-looking user agents; bot-sensitive sites
+	// hide their banner from them (§3 limitation).
+	botUA bool
+}
+
+// showBanner decides whether this request gets a banner.
+func (st pageState) showBanner() bool {
+	if st.consented || st.rejected || st.subscribed {
+		return false
+	}
+	if st.site.Banner == synthweb.BannerNone {
+		return false
+	}
+	if st.site.BotSensitive && st.botUA {
+		return false
+	}
+	if len(st.site.ShowToVPs) == 0 {
+		return true
+	}
+	return st.site.ShowsBannerTo(st.vpName)
+}
+
+// looksLikeBot is the farm's naive crawler fingerprint: empty UA or
+// one containing the usual automation markers. OpenWPM mitigates this
+// in the paper; our emulated browser can impersonate either side.
+func looksLikeBot(ua string) bool {
+	if ua == "" {
+		return true
+	}
+	l := strings.ToLower(ua)
+	for _, marker := range []string{"bot", "crawl", "spider", "headless", "measurement", "cookiewalk"} {
+		if strings.Contains(l, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// renderSitePage produces the full HTML document for a site visit.
+func (f *Farm) renderSitePage(st pageState) string {
+	s := st.site
+	t := textFor(s.Language)
+	kw := keywordsFor(s)
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"")
+	b.WriteString(s.Language)
+	b.WriteString("\">\n<head><meta charset=\"utf-8\"><title>")
+	b.WriteString(htmlx.EscapeText(siteTitle(s)))
+	b.WriteString("</title></head>\n<body")
+	if s.ScrollLock && s.Provider.Listed {
+		// Declarative anti-adblock: the browser locks scrolling when the
+		// referenced resource was blocked (promipool.de behaviour, §4.5).
+		fmt.Fprintf(&b, " data-scroll-lock-if-blocked=%q", s.Provider.ScriptURL())
+	}
+	b.WriteString(">\n<header><h1>")
+	b.WriteString(htmlx.EscapeText(siteTitle(s)))
+	b.WriteString("</h1><nav><a href=\"/\">Home</a> <a href=\"/privacy\">Privacy</a></nav></header>\n<main>\n")
+
+	// Article body: three language-typical paragraphs threaded with the
+	// site's category keywords (classifier food).
+	fmt.Fprintf(&b, "<article><h2>%s</h2>\n", htmlx.EscapeText(kw[0]))
+	fmt.Fprintf(&b, "<p>%s</p>\n", htmlx.EscapeText(fmt.Sprintf(t.intro, kw[0], kw[1])))
+	fmt.Fprintf(&b, "<p>%s</p>\n", htmlx.EscapeText(fmt.Sprintf(t.body1, kw[2])))
+	fmt.Fprintf(&b, "<p>%s</p>\n", htmlx.EscapeText(fmt.Sprintf(t.body2, kw[0])))
+	b.WriteString("</article>\n</main>\n")
+
+	if st.subscribed {
+		b.WriteString(`<div id="sub-badge" class="subscription-active">✓</div>` + "\n")
+	}
+
+	if st.showBanner() {
+		f.writeBanner(&b, s)
+	}
+	if s.AntiAdblock && s.Provider.Listed {
+		// hausbau-forum.de behaviour: a plea that the browser reveals
+		// when the cookiewall resource was blocked.
+		fmt.Fprintf(&b,
+			`<div id="adblock-plea" data-cw-if-blocked=%q hidden>Bitte deaktivieren Sie Ihren Werbeblocker, um diese Seite nutzen zu können.</div>`+"\n",
+			s.Provider.ScriptURL())
+	}
+
+	// Post-consent pages carry the ad/tracking load.
+	if st.consented {
+		f.writeTrackerEmbeds(&b, st, false)
+	}
+	if st.subscribed {
+		f.writeTrackerEmbeds(&b, st, true)
+	}
+
+	b.WriteString("<footer><p>© ")
+	b.WriteString(htmlx.EscapeText(s.Domain))
+	b.WriteString("</p></footer>\n</body></html>\n")
+	return b.String()
+}
+
+// siteTitle derives a stable human-ish title from the domain.
+func siteTitle(s *synthweb.Site) string {
+	name := s.Domain
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		name = name[:i]
+	}
+	words := strings.Split(name, "-")
+	for i, w := range words {
+		if w != "" {
+			words[i] = strings.ToUpper(w[:1]) + w[1:]
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// keywordsFor returns three deterministic category keywords for a site.
+func keywordsFor(s *synthweb.Site) [3]string {
+	ks := categorize.Keywords(s.Category)
+	if len(ks) == 0 {
+		ks = []string{"themen", "artikel", "beiträge"}
+	}
+	h := int(xrand.Hash64(s.Domain))
+	if h < 0 {
+		h = -h
+	}
+	var out [3]string
+	for i := 0; i < 3; i++ {
+		out[i] = ks[(h+i)%len(ks)]
+	}
+	return out
+}
+
+// writeBanner emits the banner in the site's configured embedding and
+// delivery mode.
+func (f *Farm) writeBanner(b *strings.Builder, s *synthweb.Site) {
+	if s.Provider.Host != "" {
+		// Third-party delivery: a slot plus a provider script. The
+		// emulated browser fetches the script URL (subject to content
+		// blocking) and injects the returned fragment into the slot.
+		fmt.Fprintf(b,
+			"<div id=\"cw-slot\"></div>\n<script src=%q data-cw-inject=\"#cw-slot\" async></script>\n",
+			providerScriptURL(s))
+		return
+	}
+	// Local (first-party) delivery.
+	b.WriteString(f.bannerFragment(s, ""))
+	b.WriteString("\n")
+}
+
+// providerScriptURL is the third-party loader URL for a site.
+func providerScriptURL(s *synthweb.Site) string {
+	return s.Provider.ScriptURL() + "?site=" + s.Domain
+}
+
+// bannerFragment renders the injectable banner markup for a site in
+// its configured embedding. providerHost is non-empty for third-party
+// delivery and controls where iframe documents are served from.
+func (f *Farm) bannerFragment(s *synthweb.Site, providerHost string) string {
+	switch s.Embedding {
+	case synthweb.EmbedIFrame:
+		src := "/cw-frame.html"
+		if providerHost != "" {
+			src = "https://" + providerHost + "/frame?site=" + s.Domain
+		}
+		return fmt.Sprintf(
+			`<iframe id="cw-frame" src=%q style="position:fixed;top:15%%;left:10%%;width:80%%;height:60%%;z-index:99999"></iframe>`,
+			src)
+	case synthweb.EmbedShadowOpen, synthweb.EmbedShadowClosed:
+		mode := "open"
+		if s.Embedding == synthweb.EmbedShadowClosed {
+			mode = "closed"
+		}
+		return fmt.Sprintf(
+			`<div id="cw-host" class=%q><template shadowrootmode=%q>%s</template></div>`,
+			overlayClass(s), mode, f.bannerCore(s))
+	default:
+		return f.bannerCore(s)
+	}
+}
+
+// bannerDocument renders the standalone HTML document served to banner
+// iframes.
+func (f *Farm) bannerDocument(s *synthweb.Site) string {
+	return "<!DOCTYPE html>\n<html lang=\"" + s.Language +
+		"\"><head><meta charset=\"utf-8\"><title>Consent</title></head><body>\n" +
+		f.bannerCore(s) + "\n</body></html>\n"
+}
+
+// overlayClass picks the banner's CSS class. Only the well-known
+// (filter-listed) platforms reuse the stock "cw-smp-overlay" markup
+// that the Annoyances cosmetic rule targets; locally-served walls and
+// lesser-known kits (nichewall, tinycmp) use bespoke markup and evade
+// both network and cosmetic filtering — exactly the §4.5 population
+// that survives uBlock Origin.
+func overlayClass(s *synthweb.Site) string {
+	if s.Provider.Listed {
+		return "cw-smp-overlay"
+	}
+	return "cw-overlay"
+}
+
+// bannerCore renders the banner element itself: a cookiewall (accept or
+// subscribe, no reject) or a regular banner (accept + reject).
+func (f *Farm) bannerCore(s *synthweb.Site) string {
+	t := textFor(s.Language)
+	consentTarget := "https://" + s.Domain + "/consent"
+	var b strings.Builder
+	if s.Banner == synthweb.BannerCookiewall {
+		loginTarget := "https://" + s.Domain + "/smp-login"
+		fmt.Fprintf(&b, `<div id="cw-banner" class="%s consent-layer" role="dialog" aria-modal="true" style="position:fixed;top:20%%;left:10%%;width:80%%;z-index:99999">`,
+			overlayClass(s))
+		fmt.Fprintf(&b, `<h2>%s</h2>`, htmlx.EscapeText(siteTitle(s)))
+		fmt.Fprintf(&b, `<p class="cw-text">%s</p>`,
+			htmlx.EscapeText(fmt.Sprintf(t.wallText, formatPricePhrase(s))))
+		b.WriteString(`<div class="cw-actions">`)
+		fmt.Fprintf(&b, `<button id="cw-accept" class="cw-btn cw-btn-accept" data-action="consent-accept" data-target=%q>%s</button>`,
+			consentTarget, htmlx.EscapeText(t.accept))
+		fmt.Fprintf(&b, `<button id="cw-subscribe" class="cw-btn cw-btn-sub" data-action="smp-subscribe" data-target=%q>%s</button>`,
+			loginTarget, htmlx.EscapeText(t.subscribe))
+		b.WriteString(`</div>`)
+		if s.Provider.SMP {
+			fmt.Fprintf(&b, `<p class="cw-footnote">powered by %s</p>`,
+				htmlx.EscapeText(s.Provider.Name))
+		}
+		b.WriteString(`</div>`)
+		return b.String()
+	}
+	// Regular banner.
+	b.WriteString(`<div id="cmp-banner" class="cookie-banner consent-layer" role="dialog" style="position:fixed;bottom:0;left:0;width:100%;z-index:9999">`)
+	text := t.consentText
+	if s.Decoy {
+		text += " " + decoyPromoFor(s.Language)
+	}
+	fmt.Fprintf(&b, `<p class="cmp-text">%s</p>`, htmlx.EscapeText(text))
+	fmt.Fprintf(&b, `<button id="cmp-accept" data-action="consent-accept" data-target=%q>%s</button>`,
+		consentTarget, htmlx.EscapeText(t.accept))
+	fmt.Fprintf(&b, `<button id="cmp-reject" data-action="consent-reject" data-target=%q>%s</button>`,
+		consentTarget, htmlx.EscapeText(t.reject))
+	fmt.Fprintf(&b, `<a href="/settings">%s</a>`, htmlx.EscapeText(t.settings))
+	b.WriteString(`</div>`)
+	return b.String()
+}
+
+// writeTrackerEmbeds emits the third-party resources for a consent or
+// subscription page view: tracker pixels (blocklisted domains) and
+// benign assets. Counts are the site's profile with per-visit jitter.
+func (f *Farm) writeTrackerEmbeds(b *strings.Builder, st pageState, subscription bool) {
+	s := st.site
+	var tracking, benign int
+	if subscription {
+		tracking = 0
+		benign = f.jitter(s.Cookies.SubBenignTP, s.Domain, st.visit, "sub-benign")
+	} else {
+		tracking = f.jitter(s.Cookies.PostTracking, s.Domain, st.visit, "tracking")
+		benign = f.jitter(s.Cookies.PostBenignTP, s.Domain, st.visit, "benign")
+	}
+
+	writeSpread(b, f.trackerPool, tracking, 3, s.Domain, "p.gif", "img")
+	writeSpread(b, f.benignPool, benign, 2, s.Domain, "tag.js", "script")
+}
+
+// writeSpread distributes `total` cookies over a domain pool, perDomain
+// at a time, emitting one resource tag per (domain, chunk).
+func writeSpread(b *strings.Builder, pool []string, total, perDomain int, site, path, tag string) {
+	if total <= 0 {
+		return
+	}
+	start := int(xrand.Hash64(site) % uint64(len(pool)))
+	offset := 0
+	for total > 0 {
+		n := perDomain
+		if total < n {
+			n = total
+		}
+		host := pool[(start+offset/perDomain)%len(pool)]
+		url := fmt.Sprintf("https://%s/%s?site=%s&n=%d&o=%d", host, path, site, n, offset)
+		if tag == "img" {
+			fmt.Fprintf(b, "<img src=%q width=\"1\" height=\"1\" alt=\"\">\n", url)
+		} else {
+			fmt.Fprintf(b, "<script src=%q></script>\n", url)
+		}
+		offset += n
+		total -= n
+	}
+}
+
+// jitter perturbs a baseline count by ±~7% deterministically per
+// (domain, visit, kind); visit "" disables jitter.
+func (f *Farm) jitter(base int, domain, visit, kind string) int {
+	if base <= 0 || visit == "" {
+		return base
+	}
+	rng := xrand.New(xrand.SubSeed(f.seed, domain, visit, kind))
+	v := int(float64(base)*rng.LogNormal(0, 0.07) + 0.5)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}

@@ -1,0 +1,55 @@
+package webfarm
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+)
+
+// Transport returns an http.RoundTripper that dispatches requests to
+// the farm in-process — no sockets, no DNS — so a 45k-site × 8-VP crawl
+// finishes in seconds. Unknown hosts behave like NXDOMAIN and
+// unreachable sites like connection timeouts: the RoundTripper returns
+// an error, exactly what a real crawler's HTTP client would surface.
+//
+// cmd/webfarm serves the identical handler on a real listener for
+// interactive exploration.
+func (f *Farm) Transport() http.RoundTripper {
+	return &inProcessTransport{farm: f}
+}
+
+type inProcessTransport struct {
+	farm *Farm
+}
+
+// HostError is the transport-level failure for unknown or unreachable
+// hosts.
+type HostError struct {
+	Host string
+	// Reason is "no such host" or "unreachable".
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *HostError) Error() string {
+	return fmt.Sprintf("webfarm: %s: %s", e.Host, e.Reason)
+}
+
+func (t *inProcessTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.Host
+	if host == "" {
+		host = req.URL.Host
+	}
+	known, reachable := t.farm.KnownHost(host)
+	if !known {
+		return nil, &HostError{Host: host, Reason: "no such host"}
+	}
+	if !reachable {
+		return nil, &HostError{Host: host, Reason: "unreachable"}
+	}
+	rec := httptest.NewRecorder()
+	t.farm.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
