@@ -8,6 +8,7 @@
 package cookiewalk_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -49,13 +50,18 @@ func benchReport(b *testing.B, exp cookiewalk.Experiment) {
 }
 
 // BenchmarkLandscapeCrawl measures the raw eight-VP campaign over all
-// 45 222 targets (the input to Table 1 and Figures 1-3/6).
+// 45 222 targets (the input to Table 1 and Figures 1-3/6), running
+// through the streaming campaign engine.
 func BenchmarkLandscapeCrawl(b *testing.B) {
 	s := fullScale(b)
 	targets := s.Targets()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		l := s.Crawler().Landscape(vantage.All(), targets)
+		l, err := s.Crawler().Landscape(context.Background(), vantage.All(), targets)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if l.Targets != len(targets) {
 			b.Fatal("crawl incomplete")
 		}
@@ -92,7 +98,10 @@ func BenchmarkFigure4(b *testing.B) {
 	vp, _ := vantage.ByName("Germany")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f := s.Crawler().RunFigure4(l, vp, 5, 42)
+		f, err := s.Crawler().RunFigure4(context.Background(), l, vp, 5, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(f.Cookiewall) == 0 {
 			b.Fatal("no cookiewall measurements")
 		}
@@ -106,7 +115,7 @@ func BenchmarkFigure5(b *testing.B) {
 	vp, _ := vantage.ByName("Germany")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f, err := s.Crawler().RunFigure5(vp, "contentpass", 5)
+		f, err := s.Crawler().RunFigure5(context.Background(), vp, "contentpass", 5)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -23,10 +23,18 @@ func main() {
 		blocker    = flag.Bool("blocker", false, "enable the uBlock-style blocker")
 		walls      = flag.Bool("walls", false, "list cookiewall domains and exit")
 		screenshot = flag.Bool("screenshot", false, "render the banner as an ASCII box (Appendix B style)")
+		progress   = flag.Bool("progress", false, "stream campaign progress counters to stderr")
 	)
 	flag.Parse()
 
-	study := cookiewalk.New(cookiewalk.Config{Seed: *seed, Scale: *scale})
+	cfg := cookiewalk.Config{Seed: *seed, Scale: *scale}
+	if *progress {
+		cfg.Progress = func(p cookiewalk.Progress) {
+			fmt.Fprintf(os.Stderr, "%s: shard %d/%d, %d/%d visits, %d errors\n",
+				p.Label, p.Shard, p.Shards, p.Done, p.Total, p.Errors)
+		}
+	}
+	study := cookiewalk.New(cfg)
 	if *walls {
 		for _, d := range study.CookiewallDomains() {
 			fmt.Println(d)

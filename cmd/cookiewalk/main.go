@@ -25,14 +25,17 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Uint64("seed", 42, "universe seed")
-		scale   = flag.Float64("scale", 1, "filler-web scale (1 = paper size)")
-		reps    = flag.Int("reps", 5, "repetitions for cookie measurements")
-		exp     = flag.String("exp", "all", "experiment id (see -list)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		out     = flag.String("out", "", "also write the report to this file")
-		jsonOut = flag.String("json", "", "write the machine-readable dataset (JSON) to this file")
-		csvOut  = flag.String("csv", "", "write per-cookiewall records (CSV) to this file")
+		seed     = flag.Uint64("seed", 42, "universe seed")
+		scale    = flag.Float64("scale", 1, "filler-web scale (1 = paper size)")
+		reps     = flag.Int("reps", 5, "repetitions for cookie measurements")
+		exp      = flag.String("exp", "all", "experiment id (see -list)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		out      = flag.String("out", "", "also write the report to this file")
+		jsonOut  = flag.String("json", "", "write the machine-readable dataset (JSON) to this file")
+		csvOut   = flag.String("csv", "", "write per-cookiewall records (CSV) to this file")
+		workers  = flag.Int("workers", 0, "per-shard worker pool size (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "campaign shard count (0 = derived from target count)")
+		progress = flag.Bool("progress", false, "stream campaign progress and per-shard error accounting to stderr")
 	)
 	flag.Parse()
 
@@ -43,8 +46,16 @@ func main() {
 		return
 	}
 
+	cfg := cookiewalk.Config{
+		Seed: *seed, Scale: *scale, Reps: *reps,
+		Workers: *workers, Shards: *shards,
+	}
+	if *progress {
+		cfg.Progress = printProgress
+	}
+
 	start := time.Now()
-	study := cookiewalk.New(cookiewalk.Config{Seed: *seed, Scale: *scale, Reps: *reps})
+	study := cookiewalk.New(cfg)
 	fmt.Fprintf(os.Stderr, "universe ready: %d targets (%.1fs)\n",
 		len(study.Targets()), time.Since(start).Seconds())
 
@@ -55,6 +66,9 @@ func main() {
 	}
 	fmt.Print(text)
 	fmt.Fprintf(os.Stderr, "total runtime: %.1fs\n", time.Since(start).Seconds())
+	if *progress {
+		printShardAccounting(study)
+	}
 
 	if *out != "" {
 		header := fmt.Sprintf("# cookiewalk experiment report\n\nseed=%d scale=%g reps=%d\n\n```\n",
@@ -69,6 +83,34 @@ func main() {
 	}
 	if *csvOut != "" {
 		writeWith(*csvOut, study.ExportWallsCSV)
+	}
+}
+
+// printProgress is the -progress sink: a stderr status line per
+// campaign snapshot, terminated when the campaign completes.
+func printProgress(p cookiewalk.Progress) {
+	fmt.Fprintf(os.Stderr, "\r%-24s shard %d/%d  %d/%d visits  %d errors",
+		p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Errors)
+	if p.Done >= p.Total {
+		fmt.Fprintln(os.Stderr)
+	}
+}
+
+// printShardAccounting dumps the per-shard visit/error counters of the
+// landscape campaign (when one ran) — the engine's failure ledger.
+func printShardAccounting(study *cookiewalk.Study) {
+	l := study.CachedLandscape()
+	if l == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "landscape shard accounting:")
+	for _, res := range l.PerVP {
+		fmt.Fprintf(os.Stderr, "  %-14s", res.VP)
+		for _, sh := range res.Stats.Shards {
+			fmt.Fprintf(os.Stderr, " [%d: %d/%d, %d err]",
+				sh.Shard, sh.Done, sh.Targets, sh.Errors)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 }
 

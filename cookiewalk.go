@@ -16,20 +16,45 @@
 //     comparisons (Figures 4-5), correlation analysis (Figure 6),
 //     detection accuracy (§3) and the ad-blocker bypass study (§4.5).
 //
+// Every crawl runs on the streaming campaign engine
+// (internal/campaign): the target list is partitioned into shards, each
+// shard visits sites on its own worker pool, and observations stream —
+// in input order — into incrementally updated tallies. Nothing ever
+// materializes the full per-visit result set, outputs are byte-for-byte
+// identical for a fixed seed regardless of Workers or Shards, and
+// long campaigns report progress and per-shard error counts as they go.
+//
 // Quickstart:
 //
-//	study := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02})
+//	study := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2})
 //	rep, err := study.Analyze("Germany", study.CookiewallDomains()[0])
-//	fmt.Println(rep.BannerKind, rep.PriceEUR)
+//	fmt.Println(rep.BannerKind, rep.PriceEUR, err)
+//
+//	// One artefact, or everything (what the golden test pins):
 //	text, _ := study.Report(cookiewalk.ExpTable1)
-//	fmt.Println(text)
+//	all, _ := study.Report(cookiewalk.ExpAll)
+//	fmt.Println(text, len(all))
+//
+// Watch a campaign stream (the cmd/cookiewalk -progress flag does
+// exactly this):
+//
+//	study = cookiewalk.New(cookiewalk.Config{
+//		Seed: 42, Scale: 0.02, Reps: 2, Workers: 4,
+//		Progress: func(p cookiewalk.Progress) {
+//			fmt.Printf("%s: shard %d/%d, %d/%d visits, %d errors\n",
+//				p.Label, p.Shard, p.Shards, p.Done, p.Total, p.Errors)
+//		},
+//	})
+//	_, _ = study.Report(cookiewalk.ExpPrevalence)
 //
 // Scale 1 reproduces the paper's absolute numbers; smaller scales
 // shrink the filler web for fast experimentation while keeping the 280
-// cookiewall sites and every structural marginal intact.
+// cookiewall sites and every structural marginal intact. The worker and
+// shard counts tune throughput only — never results.
 package cookiewalk
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
@@ -37,6 +62,7 @@ import (
 
 	"cookiewalk/internal/adblock"
 	"cookiewalk/internal/browser"
+	"cookiewalk/internal/campaign"
 	"cookiewalk/internal/core"
 	"cookiewalk/internal/dom"
 	"cookiewalk/internal/measure"
@@ -57,8 +83,26 @@ type Config struct {
 	// Reps is the repetition count for cookie measurements (default 5,
 	// as in the paper).
 	Reps int
-	// Workers bounds crawl parallelism (default GOMAXPROCS).
+	// Workers bounds per-shard crawl parallelism (default GOMAXPROCS).
 	Workers int
+	// Shards overrides the campaign shard count (default: derived from
+	// the target-list size). Purely a throughput/accounting knob —
+	// results are identical for any value.
+	Shards int
+	// Progress, when set, receives streaming campaign progress
+	// snapshots (shard, visit and error counters) from every crawl the
+	// study runs.
+	Progress func(Progress)
+}
+
+// Progress is a point-in-time snapshot of a running crawl campaign.
+type Progress struct {
+	// Label names the campaign ("landscape Germany", "cookies accept").
+	Label string
+	// Shard/Shards locate the shard in flight (1-based).
+	Shard, Shards int
+	// Done/Total/Errors count visits across the whole campaign.
+	Done, Total, Errors int64
 }
 
 // Study owns a generated universe and its measurement machinery.
@@ -85,6 +129,15 @@ func New(cfg Config) *Study {
 	farm := webfarm.New(reg)
 	crawler := measure.New(reg, farm.Transport())
 	crawler.Workers = cfg.Workers
+	crawler.Shards = cfg.Shards
+	if cfg.Progress != nil {
+		crawler.Progress = func(p campaign.Progress) {
+			cfg.Progress(Progress{
+				Label: p.Label, Shard: p.Shard, Shards: p.Shards,
+				Done: p.Done, Total: p.Total, Errors: p.Errors,
+			})
+		}
+	}
 	return &Study{cfg: cfg, reg: reg, farm: farm, crawler: crawler}
 }
 
@@ -173,9 +226,11 @@ func (s *Study) analyze(vpName, domain string, blocker *adblock.Engine) (SiteRep
 	if !ok {
 		return SiteReport{}, fmt.Errorf("cookiewalk: unknown vantage point %q", vpName)
 	}
-	o := s.crawler.Visit(vp, domain, measure.VisitOpts{Blocker: blocker})
-	if o.Err != "" {
-		return SiteReport{}, fmt.Errorf("cookiewalk: visit %s: %s", domain, o.Err)
+	// Single visits ride the campaign engine too, so progress and error
+	// accounting cover them like any crawl.
+	o, err := s.crawler.AnalyzeOne(context.Background(), vp, domain, measure.VisitOpts{Blocker: blocker})
+	if err != nil {
+		return SiteReport{}, fmt.Errorf("cookiewalk: visit %s: %w", domain, err)
 	}
 	return SiteReport{
 		Domain:       o.Domain,

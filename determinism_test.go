@@ -1,0 +1,38 @@
+package cookiewalk_test
+
+import (
+	"runtime"
+	"testing"
+
+	"cookiewalk"
+)
+
+// TestReportDeterministicAcrossWorkers pins the campaign engine's
+// central promise at the facade level: the COMPLETE experiment output
+// is byte-identical no matter how many workers or shards execute the
+// crawls. Scheduling must never leak into results.
+func TestReportDeterministicAcrossWorkers(t *testing.T) {
+	configs := []cookiewalk.Config{
+		{Seed: 42, Scale: 0.02, Reps: 2, Workers: 1},
+		{Seed: 42, Scale: 0.02, Reps: 2, Workers: 4, Shards: 5},
+		{Seed: 42, Scale: 0.02, Reps: 2, Workers: runtime.GOMAXPROCS(0), Shards: 1},
+	}
+	var reference string
+	for _, cfg := range configs {
+		got, err := cookiewalk.New(cfg).Report(cookiewalk.ExpAll)
+		if err != nil {
+			t.Fatalf("workers=%d shards=%d: %v", cfg.Workers, cfg.Shards, err)
+		}
+		if got == "" {
+			t.Fatalf("workers=%d: empty report", cfg.Workers)
+		}
+		if reference == "" {
+			reference = got
+			continue
+		}
+		if got != reference {
+			t.Fatalf("workers=%d shards=%d: report differs from workers=1 output",
+				cfg.Workers, cfg.Shards)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package cookiewalk
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -54,8 +55,18 @@ func (s *Study) Landscape() *measure.Landscape {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.landscape == nil {
-		s.landscape = s.crawler.Landscape(vantage.All(), s.reg.TargetList())
+		// The background context never cancels, so the error is nil.
+		s.landscape, _ = s.crawler.Landscape(context.Background(), vantage.All(), s.reg.TargetList())
 	}
+	return s.landscape
+}
+
+// CachedLandscape returns the landscape campaign if one has already
+// run, without triggering a crawl — e.g. to inspect per-shard visit and
+// error accounting (VPResult.Stats) after a report.
+func (s *Study) CachedLandscape() *measure.Landscape {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.landscape
 }
 
@@ -69,16 +80,19 @@ func (s *Study) germanObservations() []measure.Observation {
 
 // figure4 caches the §4.3 cookie experiment (Figure 6 reuses its
 // tallies).
-func (s *Study) figure4() measure.Figure4 {
+func (s *Study) figure4() (measure.Figure4, error) {
 	l := s.Landscape()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.fig4 == nil {
 		vp, _ := vantage.ByName("Germany")
-		f := s.crawler.RunFigure4(l, vp, s.cfg.Reps, s.cfg.Seed)
+		f, err := s.crawler.RunFigure4(context.Background(), l, vp, s.cfg.Reps, s.cfg.Seed)
+		if err != nil {
+			return measure.Figure4{}, err
+		}
 		s.fig4 = &f
 	}
-	return *s.fig4
+	return *s.fig4, nil
 }
 
 // Report runs an experiment and renders its artefact as text.
@@ -103,16 +117,23 @@ func (s *Study) Report(exp Experiment) (string, error) {
 	case ExpFigure3:
 		return report.Figure3(measure.CategoryPrices(s.germanObservations())), nil
 	case ExpFigure4:
-		return report.Figure4(s.figure4()), nil
+		f, err := s.figure4()
+		if err != nil {
+			return "", err
+		}
+		return report.Figure4(f), nil
 	case ExpFigure5:
 		vp, _ := vantage.ByName("Germany")
-		f, err := s.crawler.RunFigure5(vp, "contentpass", s.cfg.Reps)
+		f, err := s.crawler.RunFigure5(context.Background(), vp, "contentpass", s.cfg.Reps)
 		if err != nil {
 			return "", err
 		}
 		return report.Figure5(f), nil
 	case ExpFigure6:
-		f := s.figure4()
+		f, err := s.figure4()
+		if err != nil {
+			return "", err
+		}
 		corr, _, _ := measure.TrackingPriceCorrelation(s.germanObservations(), f.Cookiewall)
 		return report.Figure6(corr), nil
 	case ExpSMP:
@@ -121,14 +142,22 @@ func (s *Study) Report(exp Experiment) (string, error) {
 		return s.bypassReport()
 	case ExpAblation:
 		vp, _ := vantage.ByName("Germany")
-		return report.AblationReport(s.crawler.RunAblation(vp, s.wallDomains())), nil
+		a, err := s.crawler.RunAblation(context.Background(), vp, s.wallDomains())
+		if err != nil {
+			return "", err
+		}
+		return report.AblationReport(a), nil
 	case ExpAutoReject:
 		vp, _ := vantage.ByName("Germany")
 		sample := append(s.wallDomains(), s.regularSample(280)...)
-		return report.AutoRejectReport(s.crawler.RunAutoReject(vp, sample)), nil
+		ar, err := s.crawler.RunAutoReject(context.Background(), vp, sample)
+		if err != nil {
+			return "", err
+		}
+		return report.AutoRejectReport(ar), nil
 	case ExpRevocation:
 		vp, _ := vantage.ByName("Germany")
-		r, err := s.crawler.RunRevocation(vp, s.wallDomains())
+		r, err := s.crawler.RunRevocation(context.Background(), vp, s.wallDomains())
 		if err != nil {
 			return "", err
 		}
@@ -136,7 +165,11 @@ func (s *Study) Report(exp Experiment) (string, error) {
 	case ExpBotCheck:
 		vp, _ := vantage.ByName("Germany")
 		sample := s.regularSample(1000)
-		return report.BotCheckReport(s.crawler.RunBotCheck(vp, sample)), nil
+		bc, err := s.crawler.RunBotCheck(context.Background(), vp, sample)
+		if err != nil {
+			return "", err
+		}
+		return report.BotCheckReport(bc), nil
 	case ExpAll:
 		var b strings.Builder
 		for _, e := range Experiments() {
@@ -174,7 +207,10 @@ func (s *Study) smpReport() string {
 
 func (s *Study) bypassReport() (string, error) {
 	vp, _ := vantage.ByName("Germany")
-	bp := s.crawler.RunBypass(vp, s.wallDomains(), s.cfg.Reps, DefaultBlocker())
+	bp, err := s.crawler.RunBypass(context.Background(), vp, s.wallDomains(), s.cfg.Reps, DefaultBlocker())
+	if err != nil {
+		return "", err
+	}
 	return report.BypassReport(bp), nil
 }
 

@@ -1,0 +1,3 @@
+module cookiewalk
+
+go 1.24

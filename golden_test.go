@@ -1,6 +1,7 @@
 package cookiewalk_test
 
 import (
+	"flag"
 	"os"
 	"strings"
 	"testing"
@@ -8,22 +9,34 @@ import (
 	"cookiewalk"
 )
 
+// update regenerates golden snapshots instead of diffing against them:
+//
+//	go test -run TestGoldenAllReport -update .
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
 // TestGoldenAllReport pins the COMPLETE experiment output at seed 42 /
 // scale 0.02 / reps 2 against a checked-in snapshot. Any change to the
 // universe generator, the crawler, the detector, the statistics or the
 // renderers shows up as a diff here — the determinism guarantee the
 // whole reproduction rests on.
 //
-// Regenerate deliberately after intended changes:
-//
-//	go run ./cmd/cookiewalk -exp all -scale 0.02 -reps 2 2>/dev/null > testdata/golden_all.txt
+// After an INTENDED output change, regenerate deliberately with
+// `go test -run TestGoldenAllReport -update .` and review the diff of
+// testdata/golden_all.txt in the commit.
 func TestGoldenAllReport(t *testing.T) {
-	want, err := os.ReadFile("testdata/golden_all.txt")
+	study := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2})
+	got, err := study.Report(cookiewalk.ExpAll)
 	if err != nil {
 		t.Fatal(err)
 	}
-	study := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2})
-	got, err := study.Report(cookiewalk.ExpAll)
+	if *update {
+		if err := os.WriteFile("testdata/golden_all.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden_all.txt updated")
+		return
+	}
+	want, err := os.ReadFile("testdata/golden_all.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +48,7 @@ func TestGoldenAllReport(t *testing.T) {
 	wantLines := strings.Split(string(want), "\n")
 	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
 		if gotLines[i] != wantLines[i] {
-			t.Fatalf("output diverges at line %d:\n got: %q\nwant: %q",
+			t.Fatalf("output diverges at line %d (run with -update after intended changes):\n got: %q\nwant: %q",
 				i+1, gotLines[i], wantLines[i])
 		}
 	}

@@ -67,14 +67,29 @@ const CrawlerUserAgent = "cookiewalk/1.0 (measurement; +https://bannerclick.gith
 
 // New returns a browser with a fresh cookie jar.
 func New(rt http.RoundTripper, vp vantage.VP) *Browser {
-	return &Browser{
-		Transport:     rt,
-		Jar:           cookies.NewJar(),
-		VP:            vp,
-		UserAgent:     DefaultUserAgent,
-		MaxFrameDepth: 3,
-		MaxRedirects:  5,
+	b := &Browser{}
+	b.Reset(rt, vp)
+	return b
+}
+
+// Reset reinitializes the session in place to the state New returns: a
+// fresh profile (the jar is emptied, not reallocated) and default
+// knobs. Pool-based crawls reuse the allocation across visits while
+// keeping the paper's fresh-profile-per-visit semantics.
+func (b *Browser) Reset(rt http.RoundTripper, vp vantage.VP) {
+	if b.Jar == nil {
+		b.Jar = cookies.NewJar()
+	} else {
+		b.Jar.Clear()
 	}
+	b.Transport = rt
+	b.VP = vp
+	b.Visit = ""
+	b.Blocker = nil
+	b.SMPToken = ""
+	b.UserAgent = DefaultUserAgent
+	b.MaxFrameDepth = 3
+	b.MaxRedirects = 5
 }
 
 // Page is a fully loaded page.

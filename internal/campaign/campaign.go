@@ -1,0 +1,314 @@
+// Package campaign is the streaming, sharded execution engine behind
+// every measurement crawl. It replaces the ad-hoc materialize-then-scan
+// plumbing (run all visits, collect a giant result slice, fold it) with
+// a pipeline that streams each visit's result into an incrementally
+// updated aggregator the moment it becomes available — in input order,
+// so aggregation is byte-for-byte deterministic regardless of worker
+// count, shard count, or scheduling.
+//
+// A campaign partitions its target list into contiguous shards. Shards
+// run one after another, each with its own worker pool; inside a shard,
+// visits run concurrently but their results are re-sequenced through a
+// bounded in-flight window before reaching the sink. The window gives
+// backpressure (at most Window results are ever buffered, never the
+// full target list) and the re-sequencing gives determinism: the sink
+// observes results exactly as if the targets had been visited one by
+// one, left to right.
+//
+// Cancellation is first-class: cancel the context and the engine stops
+// dispatching, lets in-flight visits finish (visit functions receive
+// the context and may abort early), accounts every undone target as
+// canceled, and returns context.Cause promptly with no goroutine left
+// behind. Per-shard counters (done / errors / canceled) survive in the
+// returned Stats, so callers can report exactly which slice of the
+// campaign failed or was cut short.
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Config parameterizes one campaign run.
+type Config struct {
+	// Label names the campaign in progress callbacks
+	// ("landscape Germany", "cookies accept", ...).
+	Label string
+	// Workers is the per-shard worker pool size (default GOMAXPROCS).
+	Workers int
+	// Shards is the number of contiguous target partitions. Zero picks
+	// DefaultShards(len(targets)). Sharding never changes results — it
+	// bounds the re-sequencing scope and structures progress/error
+	// accounting into reportable units.
+	Shards int
+	// Window bounds in-flight results awaiting in-order delivery
+	// (default 4×Workers, minimum 16). Larger windows absorb more
+	// per-visit latency skew at the cost of buffered results.
+	Window int
+	// OnProgress, when set, receives progress snapshots from the
+	// delivery goroutine: every ProgressEvery deliveries and at every
+	// shard boundary. Callbacks never influence results.
+	OnProgress func(Progress)
+	// ProgressEvery is the delivery interval between progress callbacks
+	// (default 1000).
+	ProgressEvery int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	w := 4 * c.workers()
+	if w < 16 {
+		w = 16
+	}
+	return w
+}
+
+func (c Config) shards(n int) int {
+	s := c.Shards
+	if s <= 0 {
+		s = DefaultShards(n)
+	}
+	if n > 0 && s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// DefaultShards derives a shard count from the target-list size: one
+// shard per 4096 targets, at least 1, at most 64. The paper-scale
+// 45 222-target list lands at 12 shards.
+func DefaultShards(n int) int {
+	s := (n + 4095) / 4096
+	if s < 1 {
+		return 1
+	}
+	if s > 64 {
+		return 64
+	}
+	return s
+}
+
+// Progress is a point-in-time snapshot of a running campaign.
+type Progress struct {
+	Label  string
+	Shard  int // 1-based index of the shard in flight
+	Shards int
+	Done   int64 // visits delivered so far, across all shards
+	Total  int64
+	Errors int64
+}
+
+// Result carries one visit's outcome to the sink.
+type Result[R any] struct {
+	// Index is the global position in the target list.
+	Index int
+	// Shard is the 0-based shard the target belongs to.
+	Shard int
+	// Value is visit's return value (also populated when Err != nil:
+	// visits may return partial results alongside their error).
+	Value R
+	// Err is the visit error, counted in the shard's error tally.
+	Err error
+}
+
+// ShardStats is the per-shard account of one campaign.
+type ShardStats struct {
+	Shard   int
+	Targets int
+	// Done counts visits that ran (successes and errors alike).
+	Done int
+	// Errors counts visits whose visit function returned an error.
+	Errors int
+	// Canceled counts targets never visited because the campaign was
+	// canceled first.
+	Canceled int
+}
+
+// Stats is the whole-campaign account, the sum of its shards.
+type Stats struct {
+	Targets  int
+	Done     int
+	Errors   int
+	Canceled int
+	Shards   []ShardStats
+}
+
+func (s *Stats) add(sh ShardStats) {
+	s.Done += sh.Done
+	s.Errors += sh.Errors
+	s.Canceled += sh.Canceled
+	s.Shards = append(s.Shards, sh)
+}
+
+// Run executes visit over targets and streams every Result — in
+// strictly increasing Index order, from the calling goroutine — into
+// sink. It returns when every target is accounted for: visited, failed,
+// or canceled. The error is non-nil exactly when ctx was canceled
+// before the campaign finished; Stats is valid either way.
+//
+// sink may be nil when only Stats are wanted. It needs no locking: the
+// engine never calls it concurrently.
+func Run[T, R any](ctx context.Context, cfg Config, targets []T,
+	visit func(context.Context, T) (R, error), sink func(Result[R])) (Stats, error) {
+
+	nShards := cfg.shards(len(targets))
+	stats := Stats{Targets: len(targets)}
+	total := int64(len(targets))
+	for shard := 0; shard < nShards; shard++ {
+		lo := shard * len(targets) / nShards
+		hi := (shard + 1) * len(targets) / nShards
+		if ctx.Err() != nil {
+			// Campaign cut short: account the remaining shards without
+			// spinning up their pools. Progress consumers still see each
+			// skipped shard so the final snapshot reaches Shards/Shards.
+			stats.add(ShardStats{Shard: shard, Targets: hi - lo, Canceled: hi - lo})
+		} else {
+			stats.add(runShard(ctx, cfg, targets, visit, sink, shard, nShards, lo, hi, &stats, total))
+		}
+		if cfg.OnProgress != nil {
+			cfg.OnProgress(Progress{
+				Label: cfg.Label, Shard: shard + 1, Shards: nShards,
+				Done: int64(stats.Done), Total: total, Errors: int64(stats.Errors),
+			})
+		}
+	}
+	if stats.Canceled > 0 || ctx.Err() != nil {
+		if err := context.Cause(ctx); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// shardResult pairs a Result with the engine-internal cancellation
+// marker (canceled targets never reach the sink but must be accounted
+// and re-sequenced like everything else).
+type shardResult[R any] struct {
+	res      Result[R]
+	canceled bool
+}
+
+// runShard runs one contiguous target range [lo, hi) through a fresh
+// worker pool and delivers its results in order.
+func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
+	visit func(context.Context, T) (R, error), sink func(Result[R]),
+	shard, nShards, lo, hi int, sofar *Stats, total int64) ShardStats {
+
+	window := cfg.window()
+	workers := cfg.workers()
+	if workers > hi-lo {
+		// Never more goroutines than targets: single-visit campaigns
+		// (AnalyzeOne) and tiny tail shards get a right-sized pool.
+		workers = hi - lo
+	}
+	idxCh := make(chan int)
+	resCh := make(chan shardResult[R], window)
+	// tokens caps dispatched-but-undelivered visits at window, which
+	// bounds the re-sequencing buffer below.
+	tokens := make(chan struct{}, window)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				r := Result[R]{Index: i, Shard: shard}
+				if ctx.Err() != nil {
+					// Dispatched before cancellation won the race: report
+					// the target as unvisited rather than calling visit.
+					resCh <- shardResult[R]{res: r, canceled: true}
+					continue
+				}
+				r.Value, r.Err = visit(ctx, targets[i])
+				resCh <- shardResult[R]{res: r}
+			}
+		}()
+	}
+	go func() { // dispatcher
+		defer close(idxCh)
+		for i := lo; i < hi; i++ {
+			select {
+			case tokens <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				// The token for this index is never consumed; harmless,
+				// the channel is garbage-collected with the shard.
+				return
+			}
+		}
+	}()
+	go func() { wg.Wait(); close(resCh) }()
+
+	sh := ShardStats{Shard: shard, Targets: hi - lo}
+	progressEvery := cfg.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = 1000
+	}
+	next := lo
+	pending := make(map[int]shardResult[R], window)
+	for r := range resCh {
+		pending[r.res.Index] = r
+		for {
+			q, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			<-tokens
+			next++
+			if q.canceled {
+				sh.Canceled++
+				continue
+			}
+			sh.Done++
+			if q.res.Err != nil {
+				sh.Errors++
+			}
+			if sink != nil {
+				sink(q.res)
+			}
+			if cfg.OnProgress != nil && (sh.Done+sh.Canceled)%progressEvery == 0 {
+				cfg.OnProgress(Progress{
+					Label: cfg.Label, Shard: shard + 1, Shards: nShards,
+					Done:   int64(sofar.Done + sh.Done),
+					Total:  total,
+					Errors: int64(sofar.Errors + sh.Errors),
+				})
+			}
+		}
+	}
+	// Dispatch stopped early on cancellation: the never-dispatched tail.
+	sh.Canceled += (hi - lo) - sh.Done - sh.Canceled
+	return sh
+}
+
+// Map runs visit over targets and materializes all results positionally
+// (out[i] belongs to targets[i]) — for campaigns whose downstream
+// genuinely needs the full result set, e.g. per-site tables. Errored
+// visits keep their (possibly partial) value in place.
+func Map[T, R any](ctx context.Context, cfg Config, targets []T,
+	visit func(context.Context, T) (R, error)) ([]R, Stats, error) {
+	out := make([]R, len(targets))
+	stats, err := Run(ctx, cfg, targets, visit, func(r Result[R]) {
+		out[r.Index] = r.Value
+	})
+	return out, stats, err
+}

@@ -258,7 +258,7 @@ func (j *Jar) Len() int {
 func (j *Jar) Clear() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.cookies = make(map[string]*Cookie)
+	clear(j.cookies)
 }
 
 // Class is the party classification of a cookie relative to a page.

@@ -5,21 +5,25 @@
 // experiment (§4.5), and prevalence rates (§4.1).
 //
 // Every crawl visits sites with a FRESH browser profile per visit
-// (cookie jar and all), matching OpenWPM's stateless mode, and runs
-// visits in parallel across a worker pool. Results are deterministic:
-// worker scheduling never influences outputs because visits are
-// independent and aggregation is order-stable.
+// (cookie jar and all), matching OpenWPM's stateless mode. Crawls run
+// through the internal/campaign engine: targets are sharded, visits run
+// on per-shard worker pools, and results stream into order-stable
+// incremental aggregators — so outputs are byte-identical for a fixed
+// seed regardless of worker or shard count, and campaigns can be
+// canceled mid-flight with per-shard accounting of what ran.
 package measure
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
-	"runtime"
 	"strings"
 	"sync"
 
 	"cookiewalk/internal/adblock"
 	"cookiewalk/internal/browser"
+	"cookiewalk/internal/campaign"
 	"cookiewalk/internal/categorize"
 	"cookiewalk/internal/cookies"
 	"cookiewalk/internal/core"
@@ -36,8 +40,16 @@ type Crawler struct {
 	Reg *synthweb.Registry
 	// Transport is normally webfarm.(*Farm).Transport().
 	Transport http.RoundTripper
-	// Workers bounds crawl parallelism (default: GOMAXPROCS).
+	// Workers bounds per-shard crawl parallelism (default: GOMAXPROCS).
 	Workers int
+	// Shards is the campaign shard count (default: derived from the
+	// target-list size, see campaign.DefaultShards). Sharding never
+	// changes results.
+	Shards int
+	// Progress, when set, receives streaming campaign progress
+	// (visit/error counters per shard) from every crawl this crawler
+	// runs. Purely observational.
+	Progress func(campaign.Progress)
 }
 
 // New returns a Crawler.
@@ -45,12 +57,31 @@ func New(reg *synthweb.Registry, transport http.RoundTripper) *Crawler {
 	return &Crawler{Reg: reg, Transport: transport}
 }
 
-func (c *Crawler) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
+// engine assembles the campaign configuration for one crawl.
+func (c *Crawler) engine(label string) campaign.Config {
+	return campaign.Config{
+		Label:      label,
+		Workers:    c.Workers,
+		Shards:     c.Shards,
+		OnProgress: c.Progress,
 	}
-	return runtime.GOMAXPROCS(0)
 }
+
+// browserPool recycles emulated-browser sessions — and their cookie-jar
+// maps — across the millions of visits of a full campaign. Every
+// acquire resets the session to a fresh profile, so reuse is invisible
+// to the measurement.
+var browserPool = sync.Pool{New: func() any { return new(browser.Browser) }}
+
+// acquireBrowser returns a fresh-profile session for one visit; release
+// it with releaseBrowser when no page state is needed anymore.
+func (c *Crawler) acquireBrowser(vp vantage.VP) *browser.Browser {
+	b := browserPool.Get().(*browser.Browser)
+	b.Reset(c.Transport, vp)
+	return b
+}
+
+func releaseBrowser(b *browser.Browser) { browserPool.Put(b) }
 
 // Observation is the per-site outcome of one measurement visit.
 type Observation struct {
@@ -104,7 +135,8 @@ type VisitOpts struct {
 // analyzes its banner.
 func (c *Crawler) Visit(vp vantage.VP, domain string, opts VisitOpts) Observation {
 	obs := Observation{Domain: domain, VP: vp.Name}
-	b := browser.New(c.Transport, vp)
+	b := c.acquireBrowser(vp)
+	defer releaseBrowser(b)
 	b.Visit = opts.Visit
 	b.Blocker = opts.Blocker
 	page, err := b.Open("https://" + domain + "/")
@@ -140,27 +172,29 @@ func (c *Crawler) Visit(vp vantage.VP, domain string, opts VisitOpts) Observatio
 	return obs
 }
 
-// parallelMap runs fn over items with the crawler's worker pool and
-// returns results in input order.
-func parallelMap[T any](workers int, items []string, fn func(string) T) []T {
-	out := make([]T, len(items))
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				out[i] = fn(items[i])
+// AnalyzeOne runs a single-target campaign: one visit through the same
+// engine path (progress callbacks, shard accounting) as full crawls.
+// The returned error is the visit's transport error, or the
+// cancellation cause when ctx was canceled first.
+func (c *Crawler) AnalyzeOne(ctx context.Context, vp vantage.VP, domain string, opts VisitOpts) (Observation, error) {
+	var obs Observation
+	var visitErr error
+	_, err := campaign.Run(ctx, c.engine("analyze "+domain), []string{domain},
+		func(_ context.Context, d string) (Observation, error) {
+			o := c.Visit(vp, d, opts)
+			if o.Err != "" {
+				return o, errors.New(o.Err)
 			}
-		}()
+			return o, nil
+		},
+		func(r campaign.Result[Observation]) {
+			obs = r.Value
+			visitErr = r.Err
+		})
+	if err != nil {
+		return obs, err
 	}
-	for i := range items {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
-	return out
+	return obs, visitErr
 }
 
 // CookieTally is the averaged per-site cookie triple of Figures 4/5.
@@ -191,37 +225,41 @@ const (
 // MeasureCookies visits each domain reps times from vp, performs the
 // interaction, and returns per-site average cookie tallies — the §4.3
 // methodology ("we repeat each measurement five times per website and
-// calculate the average number of cookies per website").
-func (c *Crawler) MeasureCookies(vp vantage.VP, domains []string, reps int, mode InteractionMode, smpToken string) []SiteCookies {
-	return parallelMap(c.workers(), domains, func(domain string) SiteCookies {
-		var sum CookieTally
-		ok := 0
-		var lastErr string
-		for rep := 0; rep < reps; rep++ {
-			tally, err := c.cookieVisit(vp, domain, rep, mode, smpToken)
-			if err != nil {
-				lastErr = err.Error()
-				continue
+// calculate the average number of cookies per website"). The returned
+// error is non-nil only when ctx is canceled mid-campaign.
+func (c *Crawler) MeasureCookies(ctx context.Context, vp vantage.VP, domains []string, reps int, mode InteractionMode, smpToken string) ([]SiteCookies, error) {
+	out, _, err := campaign.Map(ctx, c.engine("cookies "+modeLabel(mode)), domains,
+		func(ctx context.Context, domain string) (SiteCookies, error) {
+			var sum CookieTally
+			ok := 0
+			var lastErr string
+			for rep := 0; rep < reps; rep++ {
+				tally, err := c.cookieVisit(vp, domain, rep, mode, smpToken)
+				if err != nil {
+					lastErr = err.Error()
+					continue
+				}
+				sum.FirstParty += float64(tally.FirstParty)
+				sum.ThirdParty += float64(tally.ThirdParty)
+				sum.Tracking += float64(tally.Tracking)
+				ok++
 			}
-			sum.FirstParty += float64(tally.FirstParty)
-			sum.ThirdParty += float64(tally.ThirdParty)
-			sum.Tracking += float64(tally.Tracking)
-			ok++
-		}
-		if ok == 0 {
-			return SiteCookies{Domain: domain, Err: lastErr}
-		}
-		n := float64(ok)
-		return SiteCookies{Domain: domain, Tally: CookieTally{
-			FirstParty: sum.FirstParty / n,
-			ThirdParty: sum.ThirdParty / n,
-			Tracking:   sum.Tracking / n,
-		}}
-	})
+			if ok == 0 {
+				return SiteCookies{Domain: domain, Err: lastErr}, errors.New(lastErr)
+			}
+			n := float64(ok)
+			return SiteCookies{Domain: domain, Tally: CookieTally{
+				FirstParty: sum.FirstParty / n,
+				ThirdParty: sum.ThirdParty / n,
+				Tracking:   sum.Tracking / n,
+			}}, nil
+		})
+	return out, err
 }
 
 func (c *Crawler) cookieVisit(vp vantage.VP, domain string, rep int, mode InteractionMode, smpToken string) (cookies.Tally, error) {
-	b := browser.New(c.Transport, vp)
+	b := c.acquireBrowser(vp)
+	defer releaseBrowser(b)
 	b.Visit = fmt.Sprintf("%s|%d|%s", vp.Name, rep, modeLabel(mode))
 	b.SMPToken = smpToken
 	page, err := b.Open("https://" + domain + "/")

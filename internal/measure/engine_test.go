@@ -1,0 +1,132 @@
+package measure
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"cookiewalk/internal/campaign"
+	"cookiewalk/internal/synthweb"
+	"cookiewalk/internal/vantage"
+	"cookiewalk/internal/webfarm"
+)
+
+// TestLandscapeShardErrorAccounting crawls a target list that mixes
+// reachable sites with unreachable ones (the webfarm's transport
+// returns HostError for them, like timeouts for a real crawler) and
+// checks the engine's per-shard ledger against the known failures.
+func TestLandscapeShardErrorAccounting(t *testing.T) {
+	reg := synthweb.Generate(synthweb.Config{Seed: 7, FillerScale: 0.01})
+	farm := webfarm.New(reg)
+	c := New(reg, farm.Transport())
+	c.Workers = 4
+	c.Shards = 3
+
+	// Build a deterministic mixed list: every unreachable registry site
+	// plus reachable targets, sorted — so each shard range contains a
+	// computable number of failures.
+	unreachable := map[string]bool{}
+	var targets []string
+	for _, s := range reg.Sites() {
+		if !s.Reachable {
+			unreachable[s.Domain] = true
+			targets = append(targets, s.Domain)
+		}
+	}
+	if len(unreachable) == 0 {
+		t.Fatal("universe has no unreachable sites")
+	}
+	targets = append(targets, reg.TargetList()[:2*len(targets)]...)
+	sort.Strings(targets)
+
+	vp, _ := vantage.ByName("Germany")
+	l, err := c.Landscape(context.Background(), []vantage.VP{vp}, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := l.Result("Germany")
+	if !ok {
+		t.Fatal("missing VP result")
+	}
+	if res.Errors != len(unreachable) {
+		t.Fatalf("aggregated errors = %d, want %d", res.Errors, len(unreachable))
+	}
+	if res.Stats.Errors != len(unreachable) || res.Stats.Done != len(targets) {
+		t.Fatalf("engine stats = %+v", res.Stats)
+	}
+	if len(res.Stats.Shards) != 3 {
+		t.Fatalf("shard count = %d", len(res.Stats.Shards))
+	}
+	// Recompute each contiguous shard range's expected failures.
+	lo := 0
+	for i, sh := range res.Stats.Shards {
+		hi := lo + sh.Targets
+		want := 0
+		for _, d := range targets[lo:hi] {
+			if unreachable[d] {
+				want++
+			}
+		}
+		if sh.Errors != want {
+			t.Fatalf("shard %d errors = %d, want %d (range %d:%d)", i, sh.Errors, want, lo, hi)
+		}
+		if sh.Canceled != 0 || sh.Done != sh.Targets {
+			t.Fatalf("shard %d stats = %+v", i, sh)
+		}
+		lo = hi
+	}
+	if lo != len(targets) {
+		t.Fatalf("shard ranges cover %d of %d targets", lo, len(targets))
+	}
+	// The transport failures surface as webfarm HostErrors in the
+	// observations the sink aggregated away from the cookiewall path.
+	o := c.Visit(vp, targets[sortedFirstUnreachable(targets, unreachable)], VisitOpts{})
+	if o.Err == "" || !strings.Contains(o.Err, "webfarm:") {
+		t.Fatalf("unreachable visit error = %q", o.Err)
+	}
+}
+
+func sortedFirstUnreachable(targets []string, unreachable map[string]bool) int {
+	for i, d := range targets {
+		if unreachable[d] {
+			return i
+		}
+	}
+	return 0
+}
+
+// TestLandscapeCancellation cancels a crawl mid-campaign (from a
+// progress callback, i.e. while visits are streaming) and checks the
+// engine hands back the cancellation error instead of a landscape.
+func TestLandscapeCancellation(t *testing.T) {
+	reg := synthweb.Generate(synthweb.Config{Seed: 11, FillerScale: 0.01})
+	farm := webfarm.New(reg)
+	c := New(reg, farm.Transport())
+	c.Workers = 2
+	c.Shards = 4
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.Progress = func(p campaign.Progress) {
+		if p.Done > 0 {
+			cancel()
+		}
+	}
+	l, err := c.Landscape(ctx, vantage.All(), reg.TargetList())
+	if err == nil {
+		t.Fatalf("expected cancellation error, got landscape %+v", l)
+	}
+	// The partial landscape survives the abort: the canceled VP's shard
+	// ledger must account every target as done or canceled.
+	if l == nil || len(l.PerVP) == 0 {
+		t.Fatal("canceled crawl must return the partial landscape")
+	}
+	last := l.PerVP[len(l.PerVP)-1]
+	if last.Stats.Canceled == 0 {
+		t.Fatalf("canceled VP ledger = %+v", last.Stats)
+	}
+	if last.Stats.Done+last.Stats.Canceled != len(reg.TargetList()) {
+		t.Fatalf("ledger does not cover all targets: %+v", last.Stats)
+	}
+}

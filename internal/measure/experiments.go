@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"strings"
 
 	"cookiewalk/internal/adblock"
+	"cookiewalk/internal/campaign"
 	"cookiewalk/internal/core"
 	"cookiewalk/internal/currency"
 	"cookiewalk/internal/stats"
@@ -34,7 +36,7 @@ type Figure4 struct {
 // RunFigure4 measures the verified cookiewall sites against an
 // equal-size random sample of regular-banner sites (with accept
 // buttons), reps repetitions each, from the given vantage point.
-func (c *Crawler) RunFigure4(l *Landscape, vp vantage.VP, reps int, seed uint64) Figure4 {
+func (c *Crawler) RunFigure4(ctx context.Context, l *Landscape, vp vantage.VP, reps int, seed uint64) (Figure4, error) {
 	res, _ := l.Result(vp.Name)
 	var wallDomains []string
 	for _, o := range c.Verified(res.Cookiewalls) {
@@ -42,15 +44,19 @@ func (c *Crawler) RunFigure4(l *Landscape, vp vantage.VP, reps int, seed uint64)
 	}
 	regular := sampleStrings(res.RegularAcceptDomains, len(wallDomains), seed)
 
-	f := Figure4{
-		Regular:    c.MeasureCookies(vp, regular, reps, ModeAccept, ""),
-		Cookiewall: c.MeasureCookies(vp, wallDomains, reps, ModeAccept, ""),
+	var f Figure4
+	var err error
+	if f.Regular, err = c.MeasureCookies(ctx, vp, regular, reps, ModeAccept, ""); err != nil {
+		return f, err
+	}
+	if f.Cookiewall, err = c.MeasureCookies(ctx, vp, wallDomains, reps, ModeAccept, ""); err != nil {
+		return f, err
 	}
 	f.RegularMedian = medianTally(f.Regular)
 	f.CookiewallMedian = medianTally(f.Cookiewall)
 	f.ThirdPartyRatio = stats.Ratio(f.CookiewallMedian.ThirdParty, f.RegularMedian.ThirdParty)
 	f.TrackingRatio = stats.Ratio(f.CookiewallMedian.Tracking, f.RegularMedian.Tracking)
-	return f
+	return f, nil
 }
 
 // sampleStrings draws n distinct elements deterministically.
@@ -105,17 +111,21 @@ type Figure5 struct {
 // RunFigure5 buys a subscription at the platform's portal (over HTTP,
 // like the paper's §4.4 account purchase), then measures every partner
 // site in both modes.
-func (c *Crawler) RunFigure5(vp vantage.VP, platform string, reps int) (Figure5, error) {
+func (c *Crawler) RunFigure5(ctx context.Context, vp vantage.VP, platform string, reps int) (Figure5, error) {
 	token, err := c.BuySubscription(platform, "crawler@measurement.example")
 	if err != nil {
 		return Figure5{}, err
 	}
 	partners := c.Reg.SMP.Partners(platform)
 	f := Figure5{
-		Platform:     platform,
-		Partners:     len(partners),
-		Accept:       c.MeasureCookies(vp, partners, reps, ModeAccept, ""),
-		Subscription: c.MeasureCookies(vp, partners, reps, ModeSubscribe, token),
+		Platform: platform,
+		Partners: len(partners),
+	}
+	if f.Accept, err = c.MeasureCookies(ctx, vp, partners, reps, ModeAccept, ""); err != nil {
+		return f, err
+	}
+	if f.Subscription, err = c.MeasureCookies(ctx, vp, partners, reps, ModeSubscribe, token); err != nil {
+		return f, err
 	}
 	f.AcceptMedian = medianTally(f.Accept)
 	f.SubscriptionMedian = medianTally(f.Subscription)
@@ -167,47 +177,54 @@ type Bypass struct {
 }
 
 // RunBypass visits each cookiewall domain reps times with the blocker
-// enabled and counts walls that disappear across all repetitions.
-func (c *Crawler) RunBypass(vp vantage.VP, wallDomains []string, reps int, engine *adblock.Engine) Bypass {
-	results := parallelMap(c.workers(), wallDomains, func(domain string) Observation {
-		var last Observation
-		blockedAll := true
-		for rep := 0; rep < reps; rep++ {
-			o := c.Visit(vp, domain, VisitOpts{
-				Visit:   fmt.Sprintf("%s|ub%d", vp.Name, rep),
-				Blocker: engine,
-			})
-			last = o
-			if o.Err == "" && o.Kind == core.KindCookiewall {
-				blockedAll = false
-			}
-		}
-		if !blockedAll {
-			last.Kind = core.KindCookiewall
-		} else {
-			last.Kind = core.KindNone
-		}
-		return last
-	})
+// enabled and counts walls that disappear across all repetitions,
+// streaming each domain's verdict into the tally. The error is non-nil
+// only when ctx is canceled mid-campaign.
+func (c *Crawler) RunBypass(ctx context.Context, vp vantage.VP, wallDomains []string, reps int, engine *adblock.Engine) (Bypass, error) {
 	b := Bypass{Total: len(wallDomains)}
-	for _, o := range results {
-		if o.Kind != core.KindCookiewall {
-			b.FullyBlocked++
-		} else {
-			b.StillShowing = append(b.StillShowing, o.Domain)
-		}
-		if o.AdblockPlea {
-			b.AntiAdblockSites = append(b.AntiAdblockSites, o.Domain)
-		}
-		if o.ScrollLocked {
-			b.ScrollLockSites = append(b.ScrollLockSites, o.Domain)
-		}
+	_, err := campaign.Run(ctx, c.engine("bypass"), wallDomains,
+		func(_ context.Context, domain string) (Observation, error) {
+			var last Observation
+			blockedAll := true
+			for rep := 0; rep < reps; rep++ {
+				o := c.Visit(vp, domain, VisitOpts{
+					Visit:   fmt.Sprintf("%s|ub%d", vp.Name, rep),
+					Blocker: engine,
+				})
+				last = o
+				if o.Err == "" && o.Kind == core.KindCookiewall {
+					blockedAll = false
+				}
+			}
+			if !blockedAll {
+				last.Kind = core.KindCookiewall
+			} else {
+				last.Kind = core.KindNone
+			}
+			return last, nil
+		},
+		func(r campaign.Result[Observation]) {
+			o := r.Value
+			if o.Kind != core.KindCookiewall {
+				b.FullyBlocked++
+			} else {
+				b.StillShowing = append(b.StillShowing, o.Domain)
+			}
+			if o.AdblockPlea {
+				b.AntiAdblockSites = append(b.AntiAdblockSites, o.Domain)
+			}
+			if o.ScrollLocked {
+				b.ScrollLockSites = append(b.ScrollLockSites, o.Domain)
+			}
+		})
+	if err != nil {
+		return b, err
 	}
 	if b.Total > 0 {
 		b.BlockRate = float64(b.FullyBlocked) / float64(b.Total)
 	}
 	sort.Strings(b.StillShowing)
-	return b
+	return b, nil
 }
 
 // PriceStats bundles the §4.2 pricing analysis (Figure 2) computed

@@ -1,9 +1,11 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 
 	"cookiewalk/internal/browser"
+	"cookiewalk/internal/campaign"
 	"cookiewalk/internal/core"
 	"cookiewalk/internal/vantage"
 )
@@ -27,41 +29,44 @@ type Ablation struct {
 }
 
 // RunAblation re-analyzes the verified cookiewall sites with reduced
-// detector configurations.
-func (c *Crawler) RunAblation(vp vantage.VP, wallDomains []string) Ablation {
+// detector configurations. The error is non-nil only when ctx is
+// canceled mid-campaign.
+func (c *Crawler) RunAblation(ctx context.Context, vp vantage.VP, wallDomains []string) (Ablation, error) {
 	type counts struct{ full, noShadow, noFrames, mainOnly bool }
-	results := parallelMap(c.workers(), wallDomains, func(domain string) counts {
-		b := browser.New(c.Transport, vp)
-		page, err := b.Open("https://" + domain + "/")
-		if err != nil {
-			return counts{}
-		}
-		wall := func(opts core.Options) bool {
-			return core.DetectWith(page.Doc, opts).Kind == core.KindCookiewall
-		}
-		return counts{
-			full:     wall(core.Options{}),
-			noShadow: wall(core.Options{SkipShadow: true}),
-			noFrames: wall(core.Options{SkipFrames: true}),
-			mainOnly: wall(core.Options{SkipShadow: true, SkipFrames: true}),
-		}
-	})
 	var a Ablation
-	for _, r := range results {
-		if r.full {
-			a.Full++
-		}
-		if r.noShadow {
-			a.NoShadow++
-		}
-		if r.noFrames {
-			a.NoFrames++
-		}
-		if r.mainOnly {
-			a.MainOnly++
-		}
-	}
-	return a
+	_, err := campaign.Run(ctx, c.engine("ablation"), wallDomains,
+		func(_ context.Context, domain string) (counts, error) {
+			b := c.acquireBrowser(vp)
+			defer releaseBrowser(b)
+			page, err := b.Open("https://" + domain + "/")
+			if err != nil {
+				return counts{}, nil
+			}
+			wall := func(opts core.Options) bool {
+				return core.DetectWith(page.Doc, opts).Kind == core.KindCookiewall
+			}
+			return counts{
+				full:     wall(core.Options{}),
+				noShadow: wall(core.Options{SkipShadow: true}),
+				noFrames: wall(core.Options{SkipFrames: true}),
+				mainOnly: wall(core.Options{SkipShadow: true, SkipFrames: true}),
+			}, nil
+		},
+		func(r campaign.Result[counts]) {
+			if r.Value.full {
+				a.Full++
+			}
+			if r.Value.noShadow {
+				a.NoShadow++
+			}
+			if r.Value.noFrames {
+				a.NoFrames++
+			}
+			if r.Value.mainOnly {
+				a.MainOnly++
+			}
+		})
+	return a, err
 }
 
 // AutoReject is the §5 "Firefox may soon reject cookie prompts
@@ -82,7 +87,8 @@ type AutoReject struct {
 }
 
 // RunAutoReject visits each domain and tries the auto-reject policy.
-func (c *Crawler) RunAutoReject(vp vantage.VP, domains []string) AutoReject {
+// The error is non-nil only when ctx is canceled mid-campaign.
+func (c *Crawler) RunAutoReject(ctx context.Context, vp vantage.VP, domains []string) (AutoReject, error) {
 	type outcome int
 	const (
 		outRejected outcome = iota
@@ -90,43 +96,45 @@ func (c *Crawler) RunAutoReject(vp vantage.VP, domains []string) AutoReject {
 		outNoBanner
 		outFailed
 	)
-	results := parallelMap(c.workers(), domains, func(domain string) outcome {
-		b := browser.New(c.Transport, vp)
-		page, err := b.Open("https://" + domain + "/")
-		if err != nil {
-			return outFailed
-		}
-		det := core.Detect(page.Doc)
-		if det.Kind == core.KindNone {
-			return outNoBanner
-		}
-		if det.RejectButton == nil {
-			return outNoReject
-		}
-		after, err := b.Click(page, det.RejectButton)
-		if err != nil {
-			return outFailed
-		}
-		if core.Detect(after.Doc).Kind != core.KindNone {
-			return outFailed // banner survived the reject click
-		}
-		return outRejected
-	})
 	var a AutoReject
-	a.Visited = len(results)
-	for _, r := range results {
-		switch r {
-		case outRejected:
-			a.Rejected++
-		case outNoReject:
-			a.NoRejectOption++
-		case outNoBanner:
-			a.NoBanner++
-		default:
-			a.Failed++
-		}
-	}
-	return a
+	_, err := campaign.Run(ctx, c.engine("autoreject"), domains,
+		func(_ context.Context, domain string) (outcome, error) {
+			b := c.acquireBrowser(vp)
+			defer releaseBrowser(b)
+			page, err := b.Open("https://" + domain + "/")
+			if err != nil {
+				return outFailed, nil
+			}
+			det := core.Detect(page.Doc)
+			if det.Kind == core.KindNone {
+				return outNoBanner, nil
+			}
+			if det.RejectButton == nil {
+				return outNoReject, nil
+			}
+			after, err := b.Click(page, det.RejectButton)
+			if err != nil {
+				return outFailed, nil
+			}
+			if core.Detect(after.Doc).Kind != core.KindNone {
+				return outFailed, nil // banner survived the reject click
+			}
+			return outRejected, nil
+		},
+		func(r campaign.Result[outcome]) {
+			a.Visited++
+			switch r.Value {
+			case outRejected:
+				a.Rejected++
+			case outNoReject:
+				a.NoRejectOption++
+			case outNoBanner:
+				a.NoBanner++
+			default:
+				a.Failed++
+			}
+		})
+	return a, err
 }
 
 // BotCheck quantifies the §3 limitation: "some websites identify web
@@ -145,36 +153,40 @@ type BotCheck struct {
 }
 
 // RunBotCheck compares site behaviour under the two crawler identities.
-func (c *Crawler) RunBotCheck(vp vantage.VP, domains []string) BotCheck {
+// The error is non-nil only when ctx is canceled mid-campaign.
+func (c *Crawler) RunBotCheck(ctx context.Context, vp vantage.VP, domains []string) (BotCheck, error) {
 	type pair struct{ mitigated, naive bool }
-	results := parallelMap(c.workers(), domains, func(domain string) pair {
-		showsBanner := func(ua string) bool {
-			b := browser.New(c.Transport, vp)
-			b.UserAgent = ua
-			page, err := b.Open("https://" + domain + "/")
-			if err != nil {
-				return false
+	var bc BotCheck
+	_, err := campaign.Run(ctx, c.engine("botcheck"), domains,
+		func(_ context.Context, domain string) (pair, error) {
+			showsBanner := func(ua string) bool {
+				b := c.acquireBrowser(vp)
+				defer releaseBrowser(b)
+				b.UserAgent = ua
+				page, err := b.Open("https://" + domain + "/")
+				if err != nil {
+					return false
+				}
+				return core.Detect(page.Doc).Kind != core.KindNone
 			}
-			return core.Detect(page.Doc).Kind != core.KindNone
-		}
-		return pair{
-			mitigated: showsBanner(browser.DefaultUserAgent),
-			naive:     showsBanner(browser.CrawlerUserAgent),
-		}
-	})
-	bc := BotCheck{Sample: len(results)}
-	for _, p := range results {
-		if p.mitigated {
-			bc.BannersMitigated++
-		}
-		if p.naive {
-			bc.BannersNaive++
-		}
-		if p.mitigated && !p.naive {
-			bc.BehaviourChanged++
-		}
-	}
-	return bc
+			return pair{
+				mitigated: showsBanner(browser.DefaultUserAgent),
+				naive:     showsBanner(browser.CrawlerUserAgent),
+			}, nil
+		},
+		func(r campaign.Result[pair]) {
+			bc.Sample++
+			if r.Value.mitigated {
+				bc.BannersMitigated++
+			}
+			if r.Value.naive {
+				bc.BannersNaive++
+			}
+			if r.Value.mitigated && !r.Value.naive {
+				bc.BehaviourChanged++
+			}
+		})
+	return bc, err
 }
 
 // Revocation is the §5 "Revoking Cookiewall Acceptance" experiment:
@@ -192,9 +204,14 @@ type Revocation struct {
 }
 
 // RunRevocation runs the accept -> revisit -> delete -> revisit flow.
-func (c *Crawler) RunRevocation(vp vantage.VP, domains []string) (Revocation, error) {
+// The flow is inherently session-stateful, so it runs sequentially; ctx
+// cancels it between sites.
+func (c *Crawler) RunRevocation(ctx context.Context, vp vantage.VP, domains []string) (Revocation, error) {
 	var r Revocation
 	for _, domain := range domains {
+		if ctx.Err() != nil {
+			return r, context.Cause(ctx)
+		}
 		b := browser.New(c.Transport, vp)
 		page, err := b.Open("https://" + domain + "/")
 		if err != nil {

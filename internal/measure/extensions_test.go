@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"testing"
 )
 
@@ -18,7 +19,10 @@ func wallDomainsFromFixture(t *testing.T) []string {
 func TestAblationQuantifiesWorkaroundValue(t *testing.T) {
 	c, _ := fixture(t)
 	walls := wallDomainsFromFixture(t)
-	a := c.RunAblation(germanyVP(), walls)
+	a, err := c.RunAblation(context.Background(), germanyVP(), walls)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Full != 280 {
 		t.Fatalf("full pipeline = %d", a.Full)
 	}
@@ -45,7 +49,10 @@ func TestAutoRejectDefeatedByCookiewalls(t *testing.T) {
 		regulars = regulars[:100]
 	}
 	sample := append(append([]string{}, walls...), regulars...)
-	a := c.RunAutoReject(germanyVP(), sample)
+	a, err := c.RunAutoReject(context.Background(), germanyVP(), sample)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Visited != len(sample) {
 		t.Fatalf("visited = %d", a.Visited)
 	}
@@ -66,7 +73,10 @@ func TestBotCheckFindsSensitiveSites(t *testing.T) {
 	c, l := fixture(t)
 	res, _ := l.Result("Germany")
 	sample := res.RegularAcceptDomains
-	bc := c.RunBotCheck(germanyVP(), sample)
+	bc, err := c.RunBotCheck(context.Background(), germanyVP(), sample)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if bc.Sample != len(sample) {
 		t.Fatalf("sample = %d", bc.Sample)
 	}
@@ -104,7 +114,7 @@ func TestCookiewallsNeverBotSensitive(t *testing.T) {
 func TestRevocationRequiresCookieDeletion(t *testing.T) {
 	c, _ := fixture(t)
 	walls := wallDomainsFromFixture(t)[:25]
-	r, err := c.RunRevocation(germanyVP(), walls)
+	r, err := c.RunRevocation(context.Background(), germanyVP(), walls)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,11 @@
 package measure
 
 import (
+	"context"
+	"errors"
 	"sort"
 
+	"cookiewalk/internal/campaign"
 	"cookiewalk/internal/core"
 	"cookiewalk/internal/synthweb"
 	"cookiewalk/internal/vantage"
@@ -23,6 +26,9 @@ type VPResult struct {
 	// RegularAcceptDomains is the sampling pool for Figure 4: sites
 	// showing a regular banner with an accept button.
 	RegularAcceptDomains []string
+	// Stats is the campaign engine's per-shard account of this VP's
+	// crawl (visit, error and cancellation counters).
+	Stats campaign.Stats
 }
 
 // Landscape is the full §4.1 crawl: every vantage point over every
@@ -32,38 +38,57 @@ type Landscape struct {
 	PerVP   []VPResult
 }
 
-// Landscape crawls all targets from each vantage point.
-func (c *Crawler) Landscape(vps []vantage.VP, targets []string) *Landscape {
+// Landscape crawls all targets from each vantage point, streaming every
+// observation into the per-VP tallies as it arrives — no full
+// observation list is ever materialized. The error is non-nil only when
+// ctx is canceled mid-campaign; the partial landscape crawled so far
+// (completed VPs plus the canceled VP's ledger) is returned with it.
+func (c *Crawler) Landscape(ctx context.Context, vps []vantage.VP, targets []string) (*Landscape, error) {
 	l := &Landscape{Targets: len(targets)}
 	for _, vp := range vps {
 		vp := vp
-		obs := parallelMap(c.workers(), targets, func(domain string) Observation {
-			return c.Visit(vp, domain, VisitOpts{})
-		})
 		res := VPResult{VP: vp.Name}
-		for _, o := range obs {
-			res.Visited++
-			switch {
-			case o.Err != "":
-				res.Errors++
-			case o.Kind == core.KindNone:
-				res.NoBanner++
-			case o.Kind == core.KindRegular:
-				res.Regular++
-				if o.HasAccept {
-					res.RegularAcceptDomains = append(res.RegularAcceptDomains, o.Domain)
+		stats, err := campaign.Run(ctx, c.engine("landscape "+vp.Name), targets,
+			func(_ context.Context, domain string) (Observation, error) {
+				o := c.Visit(vp, domain, VisitOpts{})
+				if o.Err != "" {
+					return o, errors.New(o.Err)
 				}
-			default:
-				res.Cookiewalls = append(res.Cookiewalls, o)
-			}
-		}
+				return o, nil
+			},
+			func(r campaign.Result[Observation]) {
+				o := r.Value
+				res.Visited++
+				switch {
+				case o.Err != "":
+					res.Errors++
+				case o.Kind == core.KindNone:
+					res.NoBanner++
+				case o.Kind == core.KindRegular:
+					res.Regular++
+					if o.HasAccept {
+						res.RegularAcceptDomains = append(res.RegularAcceptDomains, o.Domain)
+					}
+				default:
+					res.Cookiewalls = append(res.Cookiewalls, o)
+				}
+			})
+		res.Stats = stats
+		// Streaming delivery is input-ordered, so these are already
+		// sorted for sorted target lists; sort anyway for arbitrary ones.
 		sort.Slice(res.Cookiewalls, func(i, j int) bool {
 			return res.Cookiewalls[i].Domain < res.Cookiewalls[j].Domain
 		})
 		sort.Strings(res.RegularAcceptDomains)
 		l.PerVP = append(l.PerVP, res)
+		if err != nil {
+			// Hand back the partial landscape alongside the error: the
+			// completed VPs and the canceled campaign's shard ledger are
+			// exactly what a caller wants to inspect after an abort.
+			return l, err
+		}
 	}
-	return l
+	return l, nil
 }
 
 // Result returns the VPResult for a vantage point name.

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -26,7 +27,7 @@ func fixture(t *testing.T) (*Crawler, *Landscape) {
 		reg := synthweb.Generate(synthweb.Config{Seed: 42, FillerScale: 0.02})
 		farm := webfarm.New(reg)
 		fixCrawler = New(reg, farm.Transport())
-		fixLand = fixCrawler.Landscape(vantage.All(), reg.TargetList())
+		fixLand, _ = fixCrawler.Landscape(context.Background(), vantage.All(), reg.TargetList())
 	})
 	return fixCrawler, fixLand
 }
@@ -157,7 +158,10 @@ func TestCategorySharesMatchFigure1(t *testing.T) {
 
 func TestFigure4MatchesPaper(t *testing.T) {
 	c, l := fixture(t)
-	f := c.RunFigure4(l, germanyVP(), 2, 42)
+	f, err := c.RunFigure4(context.Background(), l, germanyVP(), 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f.Cookiewall) != 280 {
 		t.Fatalf("cookiewall sites measured = %d", len(f.Cookiewall))
 	}
@@ -193,7 +197,7 @@ func TestFigure4MatchesPaper(t *testing.T) {
 
 func TestFigure5MatchesPaper(t *testing.T) {
 	c, _ := fixture(t)
-	f, err := c.RunFigure5(germanyVP(), "contentpass", 2)
+	f, err := c.RunFigure5(context.Background(), germanyVP(), "contentpass", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +244,10 @@ func TestBypassMatchesPaper(t *testing.T) {
 		walls = append(walls, o.Domain)
 	}
 	engine := adblock.NewEngine(adblock.BaseList(), adblock.AnnoyancesList())
-	b := c.RunBypass(germanyVP(), walls, 2, engine)
+	b, err := c.RunBypass(context.Background(), germanyVP(), walls, 2, engine)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b.Total != 280 {
 		t.Fatalf("total = %d", b.Total)
 	}
@@ -285,7 +292,10 @@ func TestFigure6NoCorrelation(t *testing.T) {
 	c, l := fixture(t)
 	res, _ := l.Result("Germany")
 	verified := c.Verified(res.Cookiewalls)
-	f := c.RunFigure4(l, germanyVP(), 1, 42)
+	f, err := c.RunFigure4(context.Background(), l, germanyVP(), 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	corr, xs, ys := TrackingPriceCorrelation(verified, f.Cookiewall)
 	if len(xs) != len(ys) || corr.N < 200 {
 		t.Fatalf("joined %d sites", corr.N)
@@ -372,7 +382,10 @@ func TestTable1SeedRobust(t *testing.T) {
 		vp, _ := vantage.ByName(name)
 		vps = append(vps, vp)
 	}
-	l := c.Landscape(vps, reg.TargetList())
+	l, err := c.Landscape(context.Background(), vps, reg.TargetList())
+	if err != nil {
+		t.Fatal(err)
+	}
 	rows := c.Table1(l)
 	for _, row := range rows {
 		switch row.VP {
