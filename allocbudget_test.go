@@ -1,0 +1,69 @@
+package cookiewalk_test
+
+import (
+	"testing"
+
+	"cookiewalk"
+	"cookiewalk/internal/core"
+	"cookiewalk/internal/measure"
+	"cookiewalk/internal/vantage"
+)
+
+// Per-visit allocation budgets for the crawl hot path. The PR-2 visit
+// path lands around 83 allocs for a cookiewall visit and 70 for a
+// regular-banner visit (seed baseline before the zero-copy work:
+// ~222); the budgets carry ~75% headroom for toolchain drift while
+// still failing tier-1 long before the hot path regresses to its old
+// allocation profile.
+const (
+	cookiewallVisitAllocBudget = 150
+	regularVisitAllocBudget    = 125
+)
+
+// TestVisitAllocBudget pins the allocation count of the single-visit
+// hot path — transport dispatch, parse, detection, classification —
+// so allocation regressions fail tier-1 instead of surfacing months
+// later in campaign wall-clock time.
+func TestVisitAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting is exact; skip in -short/-race runs")
+	}
+	s := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2})
+	vp, ok := vantage.ByName("Germany")
+	if !ok {
+		t.Fatal("no Germany VP")
+	}
+	c := s.Crawler()
+
+	wall := s.CookiewallDomains()[0]
+	regular := ""
+	for _, d := range s.Targets() {
+		if o := c.Visit(vp, d, measure.VisitOpts{}); o.Err == "" && o.Kind == core.KindRegular {
+			regular = d
+			break
+		}
+	}
+	if regular == "" {
+		t.Fatal("no regular-banner site found")
+	}
+
+	for _, tc := range []struct {
+		name, domain string
+		budget       float64
+	}{
+		{"cookiewall", wall, cookiewallVisitAllocBudget},
+		{"regular", regular, regularVisitAllocBudget},
+	} {
+		c.Visit(vp, tc.domain, measure.VisitOpts{}) // warm the render cache
+		got := testing.AllocsPerRun(50, func() {
+			if o := c.Visit(vp, tc.domain, measure.VisitOpts{}); o.Err != "" {
+				t.Fatal(o.Err)
+			}
+		})
+		t.Logf("%s visit: %.1f allocs (budget %.0f)", tc.name, got, tc.budget)
+		if got > tc.budget {
+			t.Errorf("%s visit allocates %.1f, budget is %.0f — the hot path regressed",
+				tc.name, got, tc.budget)
+		}
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"testing"
 
 	"cookiewalk"
+	"cookiewalk/internal/core"
+	"cookiewalk/internal/measure"
 	"cookiewalk/internal/vantage"
 )
 
@@ -145,6 +147,60 @@ func BenchmarkAutoReject(b *testing.B) { benchReport(b, cookiewalk.ExpAutoReject
 // BenchmarkRevocation measures the §5 revocation experiment
 // (accept → revisit → delete cookies → revisit, 280 sites).
 func BenchmarkRevocation(b *testing.B) { benchReport(b, cookiewalk.ExpRevocation) }
+
+var (
+	smallOnce  sync.Once
+	smallStudy *cookiewalk.Study
+)
+
+// smallScale returns a shared small study for focused hot-path
+// benchmarks: cheap setup (CI runs these with -benchtime 1x as a
+// bit-rot smoke test), identical per-visit work.
+func smallScale(b *testing.B) *cookiewalk.Study {
+	b.Helper()
+	smallOnce.Do(func() {
+		smallStudy = cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2})
+	})
+	return smallStudy
+}
+
+// BenchmarkVisit measures the campaign's per-visit unit of work on the
+// crawl hot path — fetch through the in-process transport, parse,
+// detect, classify — for a cookiewall site and a regular-banner site.
+func BenchmarkVisit(b *testing.B) {
+	s := smallScale(b)
+	vp, _ := vantage.ByName("Germany")
+	c := s.Crawler()
+	for _, bc := range []struct{ name, domain string }{
+		{"cookiewall", s.CookiewallDomains()[0]},
+		{"regular", regularDomain(b, s)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			c.Visit(vp, bc.domain, measure.VisitOpts{}) // warm render cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if o := c.Visit(vp, bc.domain, measure.VisitOpts{}); o.Err != "" {
+					b.Fatal(o.Err)
+				}
+			}
+		})
+	}
+}
+
+// regularDomain finds a reachable site showing a regular banner.
+func regularDomain(b *testing.B, s *cookiewalk.Study) string {
+	b.Helper()
+	vp, _ := vantage.ByName("Germany")
+	c := s.Crawler()
+	for _, d := range s.Targets() {
+		if o := c.Visit(vp, d, measure.VisitOpts{}); o.Err == "" && o.Kind == core.KindRegular {
+			return d
+		}
+	}
+	b.Fatal("no regular-banner site found")
+	return ""
+}
 
 // BenchmarkSingleVisit measures one stateless site visit including
 // detection — the crawl's unit of work.

@@ -24,6 +24,7 @@ package adblock
 import (
 	"strings"
 
+	"cookiewalk/internal/dom"
 	"cookiewalk/internal/publicsuffix"
 )
 
@@ -46,6 +47,10 @@ type CosmeticRule struct {
 	// all sites.
 	Domain   string
 	Selector string
+	// compiled is the parsed selector, built once at engine
+	// construction; nil when the selector does not compile (such rules
+	// are skipped at apply time, like real blockers do).
+	compiled *dom.Selector
 }
 
 // Engine evaluates filter rules. Build one with NewEngine; it is
@@ -54,6 +59,12 @@ type Engine struct {
 	block      []Rule
 	exceptions []Rule
 	cosmetic   []CosmeticRule
+	// globalCosmetics is the precompiled selector list of the
+	// unscoped cosmetic rules, in rule order — the no-allocation answer
+	// for the (overwhelmingly common) hosts with no scoped rules.
+	globalCosmetics []*dom.Selector
+	// hasScopedCosmetics records whether any rule is domain-scoped.
+	hasScopedCosmetics bool
 }
 
 // NewEngine parses filter-list text (one rule per line) into an engine.
@@ -74,11 +85,21 @@ func (e *Engine) addLine(line string) {
 	}
 	// Cosmetic rules.
 	if idx := strings.Index(line, "##"); idx >= 0 {
-		e.cosmetic = append(e.cosmetic, CosmeticRule{
+		cr := CosmeticRule{
 			Raw:      line,
 			Domain:   strings.ToLower(strings.TrimSpace(line[:idx])),
 			Selector: strings.TrimSpace(line[idx+2:]),
-		})
+		}
+		// Compile once here instead of on every page load.
+		cr.compiled, _ = dom.CompileSelector(cr.Selector)
+		e.cosmetic = append(e.cosmetic, cr)
+		if cr.Domain == "" {
+			if cr.compiled != nil {
+				e.globalCosmetics = append(e.globalCosmetics, cr.compiled)
+			}
+		} else {
+			e.hasScopedCosmetics = true
+		}
 		return
 	}
 	rule := Rule{Raw: line}
@@ -180,6 +201,40 @@ func (e *Engine) CosmeticSelectors(pageHost string) []string {
 	for _, c := range e.cosmetic {
 		if c.Domain == "" || c.Domain == host || c.Domain == site {
 			out = append(out, c.Selector)
+		}
+	}
+	return out
+}
+
+// CompiledCosmetics returns the precompiled element-hiding selectors
+// that apply on pageHost, in rule order — the same rules
+// CosmeticSelectors reports, minus any whose selector does not
+// compile. Hosts without scoped rules share one precompiled slice;
+// callers must not mutate the result.
+func (e *Engine) CompiledCosmetics(pageHost string) []*dom.Selector {
+	if !e.hasScopedCosmetics {
+		return e.globalCosmetics
+	}
+	site, _ := publicsuffix.ETLDPlusOne(pageHost)
+	host := strings.ToLower(pageHost)
+	scoped := false
+	for i := range e.cosmetic {
+		if d := e.cosmetic[i].Domain; d != "" && (d == host || d == site) {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return e.globalCosmetics
+	}
+	out := make([]*dom.Selector, 0, len(e.globalCosmetics)+4)
+	for i := range e.cosmetic {
+		c := &e.cosmetic[i]
+		if c.compiled == nil {
+			continue
+		}
+		if c.Domain == "" || c.Domain == host || c.Domain == site {
+			out = append(out, c.compiled)
 		}
 	}
 	return out

@@ -1,0 +1,39 @@
+package browser
+
+import (
+	"net/url"
+	"testing"
+
+	"cookiewalk/internal/adblock"
+	"cookiewalk/internal/dom"
+)
+
+// cosmeticsPage carries the stock SMP overlay markup the Annoyances
+// cosmetic rules target, plus enough surrounding structure that the
+// selector scan does real work.
+const cosmeticsPage = `<!DOCTYPE html><html><head><title>t</title></head><body>
+<header><h1>Site</h1><nav><a href="/">Home</a> <a href="/privacy">Privacy</a></nav></header>
+<main><article><h2>head</h2><p>eins zwei drei</p><p>vier fünf sechs</p></article></main>
+<div id="cw-banner" class="cw-smp-overlay consent-layer" role="dialog" style="position:fixed;top:20%">
+<p class="cw-text">Werbefrei im Abo für 2,99 € pro Monat oder Cookies akzeptieren.</p>
+<button id="cw-accept">Alle akzeptieren</button><button id="cw-subscribe">Jetzt abonnieren</button></div>
+<footer><p>© example</p></footer></body></html>`
+
+// BenchmarkCosmetics measures applying the blocker's cosmetic rules to
+// a parsed page. The first iteration detaches the overlay; following
+// iterations measure the steady-state selector scan that every page
+// load of the §4.5 bypass experiment pays.
+func BenchmarkCosmetics(b *testing.B) {
+	eng := adblock.NewEngine(adblock.BaseList(), adblock.AnnoyancesList())
+	u, err := url.Parse("https://promi-blick.de/")
+	if err != nil {
+		b.Fatal(err)
+	}
+	br := &Browser{Blocker: eng}
+	page := &Page{URL: u, Doc: dom.Parse(cosmeticsPage)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.applyCosmetics(page)
+	}
+}

@@ -21,7 +21,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
+	"sync"
 
 	"cookiewalk/internal/adblock"
 	"cookiewalk/internal/cookies"
@@ -118,19 +120,14 @@ func (p *Page) Host() string { return p.URL.Hostname() }
 
 // Open loads a page: fetch, parse, run directives, frames, resources.
 func (b *Browser) Open(rawurl string) (*Page, error) {
-	resp, finalURL, err := b.fetch(http.MethodGet, rawurl, nil, b.MaxRedirects)
+	resp, finalURL, err := b.fetch(http.MethodGet, rawurl, nil, b.MaxRedirects, maxPageBody)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	bodyBytes, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
-	if err != nil {
-		return nil, fmt.Errorf("browser: read %s: %w", rawurl, err)
-	}
 	page := &Page{
 		URL:    finalURL,
-		Doc:    dom.Parse(string(bodyBytes)),
-		Status: resp.StatusCode,
+		Doc:    dom.Parse(resp.body),
+		Status: resp.status,
 	}
 	b.runScriptDirectives(page)
 	b.loadFrames(page, page.Doc, b.MaxFrameDepth)
@@ -140,23 +137,109 @@ func (b *Browser) Open(rawurl string) (*Page, error) {
 	return page, nil
 }
 
+const (
+	// maxPageBody bounds top-level document reads (4 MiB, like a
+	// crawler's page-size cutoff).
+	maxPageBody = 4 << 20
+	// maxSubresourceBody bounds subresource reads.
+	maxSubresourceBody = 1 << 20
+)
+
+// bodyTransport is the zero-copy dispatch fast path implemented by
+// webfarm's in-process transport: the response body comes back as a
+// string, with no http.Response reconstruction and no
+// io.ReadAll + string(bytes) double copy. Matching is structural, so
+// the webfarm package needs no import of this one. Transports that do
+// not implement it (cmd/webfarm's real net/http transport) take the
+// http.RoundTripper path below.
+type bodyTransport interface {
+	RoundTripBody(req *http.Request) (status int, header http.Header, body string, err error)
+}
+
+// response is one fetched HTTP response with the body fully read.
+type response struct {
+	status int
+	header http.Header
+	body   string
+}
+
 // fetch performs one HTTP request with cookies, geo headers, blocker
 // bypass (top-level documents are never blocked — blockers filter
-// subresources), and redirect following.
-func (b *Browser) fetch(method, rawurl string, form url.Values, redirectsLeft int) (*http.Response, *url.URL, error) {
+// subresources), and redirect following. The body is read fully,
+// truncated at limit bytes.
+func (b *Browser) fetch(method, rawurl string, form url.Values, redirectsLeft, limit int) (response, *url.URL, error) {
 	u, err := url.Parse(rawurl)
 	if err != nil {
-		return nil, nil, fmt.Errorf("browser: bad url %q: %w", rawurl, err)
+		return response{}, nil, fmt.Errorf("browser: bad url %q: %w", rawurl, err)
 	}
-	var bodyReader io.Reader
-	if form != nil {
-		bodyReader = strings.NewReader(form.Encode())
+	cur := rawurl
+	for {
+		req := b.newRequest(method, u, form)
+		resp, err := b.roundTrip(req, cur, limit)
+		if err != nil {
+			return response{}, nil, err
+		}
+		b.Jar.SetFromHeaders(u.Hostname(), resp.header.Values("Set-Cookie"))
+
+		if isRedirect(resp.status) && redirectsLeft > 0 {
+			loc := resp.header.Get("Location")
+			if loc == "" {
+				return response{}, nil, fmt.Errorf("browser: redirect without location from %s", cur)
+			}
+			next, err := u.Parse(loc)
+			if err != nil {
+				return response{}, nil, fmt.Errorf("browser: bad redirect %q: %w", loc, err)
+			}
+			// 303 (and web convention for 301/302) switches to GET.
+			method, u, form, cur = http.MethodGet, next, nil, next.String()
+			redirectsLeft--
+			continue
+		}
+		return resp, u, nil
 	}
-	req, err := http.NewRequest(method, u.String(), bodyReader)
+}
+
+// roundTrip dispatches one request, preferring the zero-copy body path.
+func (b *Browser) roundTrip(req *http.Request, rawurl string, limit int) (response, error) {
+	if bt, ok := b.Transport.(bodyTransport); ok {
+		status, header, body, err := bt.RoundTripBody(req)
+		if err != nil {
+			return response{}, err
+		}
+		if len(body) > limit {
+			body = body[:limit]
+		}
+		return response{status: status, header: header, body: body}, nil
+	}
+	resp, err := b.Transport.RoundTrip(req)
 	if err != nil {
-		return nil, nil, err
+		return response{}, err
+	}
+	defer resp.Body.Close()
+	bodyBytes, err := io.ReadAll(io.LimitReader(resp.Body, int64(limit)))
+	if err != nil {
+		return response{}, fmt.Errorf("browser: read %s: %w", rawurl, err)
+	}
+	return response{status: resp.StatusCode, header: resp.Header, body: string(bodyBytes)}, nil
+}
+
+// newRequest assembles the request by hand: the URL is already parsed,
+// and the Cookie header is built in a single pass instead of one
+// AddCookie round per cookie.
+func (b *Browser) newRequest(method string, u *url.URL, form url.Values) *http.Request {
+	req := &http.Request{
+		Method:     method,
+		URL:        u,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     make(http.Header, 5),
+		Host:       u.Host,
 	}
 	if form != nil {
+		enc := form.Encode()
+		req.Body = io.NopCloser(strings.NewReader(enc))
+		req.ContentLength = int64(len(enc))
 		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	}
 	req.Header.Set("User-Agent", b.UserAgent)
@@ -164,29 +247,19 @@ func (b *Browser) fetch(method, rawurl string, form url.Values, redirectsLeft in
 	if b.Visit != "" {
 		req.Header.Set(vantage.VisitHeader, b.Visit)
 	}
-	for _, c := range b.Jar.CookiesFor(u.Hostname(), u.Path, u.Scheme == "https") {
-		req.AddCookie(&http.Cookie{Name: c.Name, Value: c.Value})
-	}
-	resp, err := b.Transport.RoundTrip(req)
-	if err != nil {
-		return nil, nil, err
-	}
-	b.Jar.SetFromHeaders(u.Hostname(), resp.Header.Values("Set-Cookie"))
-
-	if isRedirect(resp.StatusCode) && redirectsLeft > 0 {
-		loc := resp.Header.Get("Location")
-		resp.Body.Close()
-		if loc == "" {
-			return nil, nil, fmt.Errorf("browser: redirect without location from %s", rawurl)
+	if cs := b.Jar.CookiesFor(u.Hostname(), u.Path, u.Scheme == "https"); len(cs) > 0 {
+		var sb strings.Builder
+		for i, c := range cs {
+			if i > 0 {
+				sb.WriteString("; ")
+			}
+			sb.WriteString(c.Name)
+			sb.WriteByte('=')
+			sb.WriteString(c.Value)
 		}
-		next, err := u.Parse(loc)
-		if err != nil {
-			return nil, nil, fmt.Errorf("browser: bad redirect %q: %w", loc, err)
-		}
-		// 303 (and web convention for 301/302) switches to GET.
-		return b.fetch(http.MethodGet, next.String(), nil, redirectsLeft-1)
+		req.Header.Set("Cookie", sb.String())
 	}
-	return resp, u, nil
+	return req
 }
 
 func isRedirect(code int) bool {
@@ -209,24 +282,52 @@ func (b *Browser) fetchBlockable(page *Page, rawurl string) (string, bool) {
 		page.Blocked = append(page.Blocked, abs.String())
 		return "", false
 	}
-	resp, _, err := b.fetch(http.MethodGet, abs.String(), nil, 2)
+	resp, _, err := b.fetch(http.MethodGet, abs.String(), nil, 2, maxSubresourceBody)
 	if err != nil {
 		return "", false
 	}
-	defer resp.Body.Close()
 	page.Fetched = append(page.Fetched, abs.String())
-	if resp.StatusCode != http.StatusOK {
+	if resp.status != http.StatusOK {
 		return "", false
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return "", false
-	}
-	return string(body), true
+	return resp.body, true
 }
 
 // scriptInjectSel finds declarative banner-loader scripts.
 var scriptInjectSel = dom.MustCompileSelector("script[src][data-cw-inject]")
+
+// injectTargetSels caches compiled data-cw-inject target selectors:
+// provider loaders use a fixed slot selector, so every cookiewall page
+// load was recompiling the same one. The cache is bounded because the
+// selector strings come from page content.
+var injectTargetSels struct {
+	mu sync.RWMutex
+	m  map[string]*dom.Selector
+}
+
+const maxInjectTargetSels = 1024
+
+// compileInjectTarget returns the compiled selector for src, or nil
+// when it does not compile (the directive is then skipped, exactly as
+// an inline compile error was).
+func compileInjectTarget(src string) *dom.Selector {
+	injectTargetSels.mu.RLock()
+	sel, ok := injectTargetSels.m[src]
+	injectTargetSels.mu.RUnlock()
+	if ok {
+		return sel
+	}
+	sel, _ = dom.CompileSelector(src) // nil on error, cached too
+	injectTargetSels.mu.Lock()
+	if injectTargetSels.m == nil || len(injectTargetSels.m) >= maxInjectTargetSels {
+		injectTargetSels.m = make(map[string]*dom.Selector, 8)
+	}
+	// Clone the key: src is an attribute value aliasing the source
+	// page, and a cached key must not pin whole documents in memory.
+	injectTargetSels.m[strings.Clone(src)] = sel
+	injectTargetSels.mu.Unlock()
+	return sel
+}
 
 // runScriptDirectives executes <script src data-cw-inject="#sel">: the
 // response fragment is parsed and appended to the selector target.
@@ -236,7 +337,11 @@ func (b *Browser) runScriptDirectives(page *Page) {
 	for _, script := range page.Doc.QueryAll(scriptInjectSel) {
 		src, _ := script.Attr("src")
 		targetSel, _ := script.Attr("data-cw-inject")
-		target := page.Doc.QuerySelector(targetSel)
+		sel := compileInjectTarget(targetSel)
+		if sel == nil {
+			continue
+		}
+		target := page.Doc.Query(sel)
 		if target == nil {
 			continue
 		}
@@ -323,16 +428,13 @@ func (b *Browser) fetchSubresources(page *Page) {
 }
 
 // applyCosmetics removes elements matched by the blocker's cosmetic
-// rules (element hiding).
+// rules (element hiding). Selectors come precompiled from the engine —
+// compiling per page load used to dominate the blocking profile.
 func (b *Browser) applyCosmetics(page *Page) {
 	if b.Blocker == nil {
 		return
 	}
-	for _, selSrc := range b.Blocker.CosmeticSelectors(page.Host()) {
-		sel, err := dom.CompileSelector(selSrc)
-		if err != nil {
-			continue
-		}
+	for _, sel := range b.Blocker.CompiledCosmetics(page.Host()) {
 		for _, n := range page.Doc.QueryAll(sel) {
 			n.Detach()
 		}
@@ -349,18 +451,21 @@ var (
 // elements guarded by data-cw-if-blocked become visible when their
 // sentinel URL was blocked (and disappear otherwise); a body
 // scroll-lock directive freezes scrolling.
+//
+// Sentinel lookups run against a sorted copy of the blocked-URL list:
+// a prefix hit, if any exists, is the binary-search successor of the
+// sentinel itself, so each check is O(log blocked) instead of a scan
+// of the whole set in nondeterministic map order.
 func (b *Browser) applyAdblockDetectors(page *Page) {
-	blocked := map[string]bool{}
-	for _, u := range page.Blocked {
-		blocked[u] = true
+	var blocked []string
+	if len(page.Blocked) > 0 {
+		// Sort a copy: page.Blocked stays in fetch order for reports.
+		blocked = append(make([]string, 0, len(page.Blocked)), page.Blocked...)
+		sort.Strings(blocked)
 	}
 	wasBlocked := func(sentinel string) bool {
-		for u := range blocked {
-			if strings.HasPrefix(u, sentinel) {
-				return true
-			}
-		}
-		return false
+		i := sort.SearchStrings(blocked, sentinel)
+		return i < len(blocked) && strings.HasPrefix(blocked[i], sentinel)
 	}
 	for _, n := range page.Doc.QueryAll(ifBlockedSel) {
 		sentinel, _ := n.Attr(blockedAttrSel)
@@ -427,14 +532,12 @@ func (b *Browser) Click(page *Page, button *dom.Node) (*Page, error) {
 	default:
 		return nil, fmt.Errorf("browser: unsupported action %q", action)
 	}
-	resp, _, err := b.fetch(http.MethodPost, abs.String(), form, b.MaxRedirects)
+	resp, _, err := b.fetch(http.MethodPost, abs.String(), form, b.MaxRedirects, maxPageBody)
 	if err != nil {
 		return nil, err
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		return nil, fmt.Errorf("browser: %s returned %d", action, resp.StatusCode)
+	if resp.status >= 400 {
+		return nil, fmt.Errorf("browser: %s returned %d", action, resp.status)
 	}
 	// Reload the top-level page to observe the post-interaction state.
 	return b.Open(page.URL.String())

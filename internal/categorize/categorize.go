@@ -13,8 +13,8 @@ package categorize
 
 import (
 	"sort"
-	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // keywords maps category -> distinctive content words (lower-case).
@@ -97,35 +97,96 @@ func Keywords(category string) []string {
 // Classify returns the best-matching category for page text, falling
 // back to "Others" when no keyword scores. Ties break alphabetically
 // for determinism.
+//
+// Scoring streams over the text in one pass: each token is lower-cased
+// into a reusable buffer and looked up once in a combined
+// keyword→categories bitmask table — no lowered copy of the whole
+// text, no token slice, no per-page word-count map. A category's score
+// is the number of tokens belonging to its keyword list, exactly the
+// sum the per-category counting computed.
 func Classify(text string) string {
-	words := tokenize(text)
-	if len(words) == 0 {
+	var scores [16]int // indexed by sortedCats position
+	tokens := 0
+	var buf [64]byte // stack token buffer (no closure, so it never escapes)
+	word := buf[:0]
+	for i := 0; i < len(text); {
+		// ASCII fast path: lower-case and classify bytewise; everything
+		// else goes through the same unicode calls as before. Lowering
+		// happens before the letter test, exactly like FieldsFunc over
+		// strings.ToLower(text).
+		if c := text[i]; c < utf8.RuneSelf {
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if (c >= 'a' && c <= 'z') || c == '-' {
+				word = append(word, c)
+				i++
+				continue
+			}
+			i++
+		} else {
+			r, size := utf8.DecodeRuneInString(text[i:])
+			i += size
+			if lr := unicode.ToLower(r); unicode.IsLetter(lr) || lr == '-' {
+				word = utf8.AppendRune(word, lr)
+				continue
+			}
+		}
+		if len(word) > 0 {
+			tokens++
+			addCatScores(&scores, word)
+			word = word[:0]
+		}
+	}
+	if len(word) > 0 {
+		tokens++
+		addCatScores(&scores, word)
+	}
+	if tokens == 0 {
 		return "Others"
 	}
-	counts := make(map[string]int, len(words))
-	for _, w := range words {
-		counts[w]++
-	}
 	best, bestScore := "Others", 0
-	cats := make([]string, 0, len(keywords))
-	for c := range keywords {
-		cats = append(cats, c)
-	}
-	sort.Strings(cats)
-	for _, cat := range cats {
-		score := 0
-		for _, kw := range keywords[cat] {
-			score += counts[kw]
-		}
-		if score > bestScore {
-			best, bestScore = cat, score
+	for i, cat := range sortedCats {
+		if scores[i] > bestScore {
+			best, bestScore = cat, scores[i]
 		}
 	}
 	return best
 }
 
-func tokenize(text string) []string {
-	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
-		return !unicode.IsLetter(r) && r != '-'
-	})
+// addCatScores credits every category whose keyword list contains the
+// token. The map index converts without allocating.
+func addCatScores(scores *[16]int, word []byte) {
+	mask := keywordCats[string(word)]
+	for i := 0; mask != 0; i++ {
+		if mask&1 != 0 {
+			scores[i]++
+		}
+		mask >>= 1
+	}
 }
+
+// sortedCats is the taxonomy in the alphabetical tie-break order
+// Classify scans; keywordCats maps each keyword to the bitmask (over
+// sortedCats positions) of categories listing it.
+var sortedCats = func() []string {
+	cats := make([]string, 0, len(keywords))
+	for c := range keywords {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	if len(cats) > 16 {
+		panic("categorize: more categories than the score array holds")
+	}
+	return cats
+}()
+
+var keywordCats = func() map[string]uint16 {
+	m := make(map[string]uint16, 256)
+	for i, cat := range sortedCats {
+		for _, kw := range keywords[cat] {
+			m[kw] |= uint16(1) << i
+		}
+	}
+	return m
+}()

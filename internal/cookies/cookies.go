@@ -43,33 +43,37 @@ func (c *Cookie) Expired(now time.Time) bool {
 
 // ParseSetCookie parses one Set-Cookie header value received from
 // requestHost. It returns nil for malformed or rejected cookies
-// (empty name, domain not matching the request host).
+// (empty name, domain not matching the request host). Segments are
+// walked with IndexByte and attribute names matched case-insensitively
+// in place — every page view of every crawl parses a handful of these
+// headers, so the old Split/SplitN/ToLower allocations added up.
 func ParseSetCookie(header, requestHost string, now time.Time) *Cookie {
-	parts := strings.Split(header, ";")
-	nameVal := strings.SplitN(parts[0], "=", 2)
-	if len(nameVal) != 2 {
+	seg, rest, _ := strings.Cut(header, ";")
+	eq := strings.IndexByte(seg, '=')
+	if eq < 0 {
 		return nil
 	}
-	name := strings.TrimSpace(nameVal[0])
+	name := strings.TrimSpace(seg[:eq])
 	if name == "" {
 		return nil
 	}
 	c := &Cookie{
 		Name:     name,
-		Value:    strings.TrimSpace(nameVal[1]),
+		Value:    strings.TrimSpace(seg[eq+1:]),
 		Domain:   canonicalHost(requestHost),
 		Path:     "/",
 		HostOnly: true,
 	}
-	for _, attr := range parts[1:] {
-		kv := strings.SplitN(attr, "=", 2)
-		key := strings.ToLower(strings.TrimSpace(kv[0]))
-		val := ""
-		if len(kv) == 2 {
-			val = strings.TrimSpace(kv[1])
+	for rest != "" {
+		var attr string
+		attr, rest, _ = strings.Cut(rest, ";")
+		key, val := attr, ""
+		if eq := strings.IndexByte(attr, '='); eq >= 0 {
+			key, val = attr[:eq], strings.TrimSpace(attr[eq+1:])
 		}
-		switch key {
-		case "domain":
+		key = strings.TrimSpace(key)
+		switch {
+		case strings.EqualFold(key, "domain"):
 			d := strings.TrimPrefix(strings.ToLower(val), ".")
 			if d == "" {
 				continue
@@ -81,11 +85,11 @@ func ParseSetCookie(header, requestHost string, now time.Time) *Cookie {
 			}
 			c.Domain = d
 			c.HostOnly = false
-		case "path":
+		case strings.EqualFold(key, "path"):
 			if strings.HasPrefix(val, "/") {
 				c.Path = val
 			}
-		case "max-age":
+		case strings.EqualFold(key, "max-age"):
 			if secs, err := strconv.Atoi(val); err == nil {
 				if secs <= 0 {
 					c.Expires = now.Add(-time.Second)
@@ -93,15 +97,15 @@ func ParseSetCookie(header, requestHost string, now time.Time) *Cookie {
 					c.Expires = now.Add(time.Duration(secs) * time.Second)
 				}
 			}
-		case "expires":
+		case strings.EqualFold(key, "expires"):
 			if c.Expires.IsZero() { // Max-Age wins over Expires
 				if t, err := time.Parse(time.RFC1123, val); err == nil {
 					c.Expires = t
 				}
 			}
-		case "secure":
+		case strings.EqualFold(key, "secure"):
 			c.Secure = true
-		case "httponly":
+		case strings.EqualFold(key, "httponly"):
 			c.HTTPOnly = true
 		}
 	}

@@ -160,6 +160,14 @@ func boundaryOK(text string, start, end int, token string) bool {
 // the scan by one byte, otherwise "für 2,99 €" would consume "r 2,99"
 // as a rejected ZAR candidate and never see the Euro price.
 func FindPrices(text string) []Price {
+	// Every alternative of the price pattern contains an amount (\d+),
+	// so text without a single digit can never match. Most consent
+	// banners carry no digits at all, which makes this check the
+	// difference between "no regexp work" and a full backtracking scan
+	// on the crawl's hot path.
+	if !containsDigit(text) {
+		return nil
+	}
 	var out []Price
 	offset := 0
 	for offset < len(text) {
@@ -194,6 +202,15 @@ func FindPrices(text string) []Price {
 		offset = m[1]
 	}
 	return out
+}
+
+func containsDigit(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			return true
+		}
+	}
+	return false
 }
 
 // parseAmount handles both decimal conventions: "3.99", "3,99",

@@ -19,6 +19,20 @@ func BenchmarkParse(b *testing.B) {
 	}
 }
 
+// BenchmarkDOMParse is the crawl-facing alias of BenchmarkParse used
+// by the hot-path benchmark suite (BenchmarkVisit /
+// BenchmarkRenderSitePage / BenchmarkDOMParse / BenchmarkCosmetics):
+// one full farm-shaped page through the pooled parser.
+func BenchmarkDOMParse(b *testing.B) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchPage)))
+	for i := 0; i < b.N; i++ {
+		if doc := Parse(benchPage); doc.Body() == nil {
+			b.Fatal("no body")
+		}
+	}
+}
+
 func BenchmarkRender(b *testing.B) {
 	doc := Parse(benchPage)
 	b.ReportAllocs()

@@ -2,6 +2,7 @@ package dom
 
 import (
 	"strings"
+	"sync"
 
 	"cookiewalk/internal/htmlx"
 )
@@ -23,44 +24,93 @@ import (
 // Parse never fails: like a browser, it produces a best-effort tree for
 // arbitrary input.
 func Parse(src string) *Node {
-	doc := NewDocument()
-	p := &parser{doc: doc, stack: []*Node{doc}}
-	z := htmlx.NewTokenizer(src)
-	for {
-		tok := z.Next()
-		if tok.Type == htmlx.ErrorToken {
-			break
-		}
-		p.process(tok)
-	}
-	p.ensureScaffold()
-	return doc
+	return pooledParse(src, false)
 }
 
 // ParseFragment parses src as a fragment (no html/head/body synthesis)
 // and returns the fragment root. Used for banner markup delivered by
 // CMP/SMP scripts, which is injected into an existing page.
 func ParseFragment(src string) *Node {
-	frag := NewDocument()
-	p := &parser{doc: frag, stack: []*Node{frag}, fragment: true}
-	z := htmlx.NewTokenizer(src)
+	return pooledParse(src, true)
+}
+
+// parserPool recycles parser state — token stacks, the embedded
+// tokenizer, and the tail of the current node arena — across the
+// millions of page parses of a full campaign. Nothing handed out to a
+// document is ever reused: arenas are consumed, never rewound.
+var parserPool = sync.Pool{New: func() any { return new(parser) }}
+
+func pooledParse(src string, fragment bool) *Node {
+	p := parserPool.Get().(*parser)
+	p.fragment = fragment
+	p.doc = p.newNode()
+	p.doc.Type = DocumentNode
+	p.stack = append(p.stack, p.doc)
+	p.z.Reset(src)
 	for {
-		tok := z.Next()
+		tok := p.z.Next()
 		if tok.Type == htmlx.ErrorToken {
 			break
 		}
 		p.process(tok)
 	}
-	return frag
+	if !fragment {
+		p.ensureScaffold()
+	}
+	doc := p.doc
+	p.release()
+	return doc
 }
 
 type parser struct {
 	doc      *Node
 	stack    []*Node
 	fragment bool
-	// shadowDepth tracks how many declarative shadow templates are
-	// currently open, so end tags close the right scope.
+	// shadowStack tracks the declarative shadow templates currently
+	// open, so end tags close the right scope.
 	shadowStack []*Node // the shadow Root fragments acting as insertion points
+	// arena is the tail of the current node-allocation chunk: nodes are
+	// handed out from it one by one so a page's worth of nodes costs a
+	// few chunk allocations instead of one per node.
+	arena []Node
+	z     htmlx.Tokenizer
+}
+
+// nodeArenaChunk is sized so a typical farm page (≈80 nodes) consumes
+// one or two chunks.
+const nodeArenaChunk = 64
+
+// newNode hands out a zeroed node from the arena.
+func (p *parser) newNode() *Node {
+	if len(p.arena) == 0 {
+		p.arena = make([]Node, nodeArenaChunk)
+	}
+	n := &p.arena[0]
+	p.arena = p.arena[1:]
+	return n
+}
+
+// newElement hands out an element node from the arena.
+func (p *parser) newElement(tag string, attrs []htmlx.Attribute) *Node {
+	n := p.newNode()
+	n.Type = ElementNode
+	n.Tag = tag
+	n.Attrs = attrs
+	return n
+}
+
+// release returns the parser to the pool. Stacks are cleared so pooled
+// parsers do not pin finished documents; the arena tail is kept — its
+// handed-out prefix belongs to the returned tree, the rest feeds the
+// next parse.
+func (p *parser) release() {
+	clear(p.stack)
+	p.stack = p.stack[:0]
+	clear(p.shadowStack)
+	p.shadowStack = p.shadowStack[:0]
+	p.doc = nil
+	p.z.Reset("")
+	parserPool.Put(p)
 }
 
 func (p *parser) top() *Node { return p.stack[len(p.stack)-1] }
@@ -76,11 +126,20 @@ func (p *parser) process(tok htmlx.Token) {
 			return // inter-element whitespace at document level
 		}
 		p.ensureBodyForContent()
-		p.top().AppendChild(NewText(tok.Data))
+		t := p.newNode()
+		t.Type = TextNode
+		t.Data = tok.Data
+		p.top().AppendChild(t)
 	case htmlx.CommentToken:
-		p.top().AppendChild(&Node{Type: CommentNode, Data: tok.Data})
+		c := p.newNode()
+		c.Type = CommentNode
+		c.Data = tok.Data
+		p.top().AppendChild(c)
 	case htmlx.DoctypeToken:
-		p.doc.AppendChild(&Node{Type: DoctypeNode, Data: tok.Data})
+		d := p.newNode()
+		d.Type = DoctypeNode
+		d.Data = tok.Data
+		p.doc.AppendChild(d)
 	case htmlx.StartTagToken, htmlx.SelfClosingTagToken:
 		p.startTag(tok)
 	case htmlx.EndTagToken:
@@ -134,7 +193,7 @@ func (p *parser) startTag(tok htmlx.Token) {
 		}
 	}
 
-	el := &Node{Type: ElementNode, Tag: name, Attrs: tok.Attr}
+	el := p.newElement(name, tok.Attr)
 	p.top().AppendChild(el)
 	if tok.Type == htmlx.SelfClosingTagToken || htmlx.IsVoid(name) {
 		return
@@ -219,33 +278,39 @@ func (p *parser) scaffoldElement(name string, attrs []htmlx.Attribute) {
 	case "html":
 		html := p.htmlNode()
 		if html == nil {
-			html = &Node{Type: ElementNode, Tag: "html", Attrs: attrs}
+			html = p.newElement("html", attrs)
 			p.doc.AppendChild(html)
 		}
-		p.stack = []*Node{p.doc, html}
+		p.setStack(p.doc, html)
 	case "head":
 		html := p.requireHTML()
 		head := childElement(html, "head")
 		if head == nil {
-			head = &Node{Type: ElementNode, Tag: "head", Attrs: attrs}
+			head = p.newElement("head", attrs)
 			html.AppendChild(head)
 		}
-		p.stack = []*Node{p.doc, html, head}
+		p.setStack(p.doc, html, head)
 	case "body":
 		html := p.requireHTML()
 		body := childElement(html, "body")
 		if body == nil {
-			body = &Node{Type: ElementNode, Tag: "body", Attrs: attrs}
+			body = p.newElement("body", attrs)
 			html.AppendChild(body)
 		}
-		p.stack = []*Node{p.doc, html, body}
+		p.setStack(p.doc, html, body)
 	}
+}
+
+// setStack replaces the open-element stack in place, reusing its
+// backing array.
+func (p *parser) setStack(nodes ...*Node) {
+	p.stack = append(p.stack[:0], nodes...)
 }
 
 func (p *parser) requireHTML() *Node {
 	html := p.htmlNode()
 	if html == nil {
-		html = &Node{Type: ElementNode, Tag: "html"}
+		html = p.newElement("html", nil)
 		p.doc.AppendChild(html)
 	}
 	return html
@@ -269,10 +334,10 @@ func (p *parser) ensureBodyForElement(name string) {
 		if headOnly[name] {
 			head := childElement(html, "head")
 			if head == nil {
-				head = &Node{Type: ElementNode, Tag: "head"}
+				head = p.newElement("head", nil)
 				html.AppendChild(head)
 			}
-			p.stack = []*Node{p.doc, html, head}
+			p.setStack(p.doc, html, head)
 			return
 		}
 		p.switchToBody(html)
@@ -284,10 +349,10 @@ func (p *parser) ensureBodyForElement(name string) {
 func (p *parser) switchToBody(html *Node) {
 	body := childElement(html, "body")
 	if body == nil {
-		body = &Node{Type: ElementNode, Tag: "body"}
+		body = p.newElement("body", nil)
 		html.AppendChild(body)
 	}
-	p.stack = []*Node{p.doc, html, body}
+	p.setStack(p.doc, html, body)
 }
 
 func (p *parser) ensureBodyForContent() {
@@ -306,10 +371,9 @@ func (p *parser) ensureScaffold() {
 	}
 	html := p.requireHTML()
 	if childElement(html, "head") == nil {
-		head := &Node{Type: ElementNode, Tag: "head"}
-		html.InsertBefore(head, html.FirstChild)
+		html.InsertBefore(p.newElement("head", nil), html.FirstChild)
 	}
 	if childElement(html, "body") == nil {
-		html.AppendChild(&Node{Type: ElementNode, Tag: "body"})
+		html.AppendChild(p.newElement("body", nil))
 	}
 }

@@ -3,24 +3,33 @@ package dom
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
-// skipTextTags are elements whose text content is never user-visible.
-var skipTextTags = map[string]bool{
-	"script": true, "style": true, "template": true, "noscript": true,
-	"head": true, "title": true,
+// skipTextTag reports elements whose text content is never
+// user-visible. A string switch compiles to a length-bucketed
+// comparison tree — measurably cheaper than a map probe on the
+// per-node text path.
+func skipTextTag(tag string) bool {
+	switch tag {
+	case "script", "style", "template", "noscript", "head", "title":
+		return true
+	}
+	return false
 }
 
-// blockTags separate words when extracting text, mirroring layout.
-var blockTags = map[string]bool{
-	"address": true, "article": true, "aside": true, "blockquote": true,
-	"br": true, "button": true, "div": true, "dl": true, "dt": true,
-	"dd": true, "fieldset": true, "footer": true, "form": true,
-	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
-	"header": true, "hr": true, "li": true, "main": true, "nav": true,
-	"ol": true, "option": true, "p": true, "pre": true, "section": true,
-	"select": true, "table": true, "td": true, "th": true, "tr": true,
-	"ul": true,
+// blockTag reports elements that separate words when extracting text,
+// mirroring layout.
+func blockTag(tag string) bool {
+	switch tag {
+	case "address", "article", "aside", "blockquote", "br", "button",
+		"div", "dl", "dt", "dd", "fieldset", "footer", "form",
+		"h1", "h2", "h3", "h4", "h5", "h6", "header", "hr", "li",
+		"main", "nav", "ol", "option", "p", "pre", "section", "select",
+		"table", "td", "th", "tr", "ul":
+		return true
+	}
+	return false
 }
 
 // Text returns the user-visible text of n's subtree with whitespace
@@ -28,32 +37,82 @@ var blockTags = map[string]bool{
 // collapse to single ASCII spaces and block boundaries insert spaces.
 // It does not descend into shadow roots or iframes — callers that need
 // pierced text (the cookiewall detector) collect those explicitly.
+//
+// Extraction and normalization happen in one streaming pass — the text
+// never exists un-normalized, halving the string work of the old
+// extract-then-NormalizeSpace pipeline while producing identical
+// bytes (the normalizer is fed the same chunk sequence the old code
+// concatenated).
 func (n *Node) Text() string {
-	var b strings.Builder
-	appendText(&b, n)
-	return NormalizeSpace(b.String())
+	var t textNormalizer
+	appendText(&t, n)
+	return t.b.String()
 }
 
-func appendText(b *strings.Builder, n *Node) {
+// textNormalizer streams chunks through the NormalizeSpace state
+// machine: runs of Unicode whitespace collapse to single ASCII spaces,
+// leading and trailing whitespace never gets written.
+type textNormalizer struct {
+	b     strings.Builder
+	space bool // pending whitespace run
+	wrote bool // a non-space rune has been written
+}
+
+func (t *textNormalizer) writeString(s string) {
+	for i := 0; i < len(s); {
+		// ASCII bytes skip rune decoding and WriteRune; the unicode
+		// space set restricted to ASCII is exactly \t\n\v\f\r and ' '.
+		if c := s[i]; c < utf8.RuneSelf {
+			i++
+			if c == ' ' || (c >= '\t' && c <= '\r') {
+				t.space = true
+				continue
+			}
+			if t.space && t.wrote {
+				t.b.WriteByte(' ')
+			}
+			t.space = false
+			t.wrote = true
+			t.b.WriteByte(c)
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		i += size
+		if unicode.IsSpace(r) {
+			t.space = true
+			continue
+		}
+		if t.space && t.wrote {
+			t.b.WriteByte(' ')
+		}
+		t.space = false
+		t.wrote = true
+		t.b.WriteRune(r)
+	}
+}
+
+func (t *textNormalizer) writeSpace() { t.space = true }
+
+func appendText(t *textNormalizer, n *Node) {
 	switch n.Type {
 	case TextNode:
-		b.WriteString(n.Data)
+		t.writeString(n.Data)
 		return
 	case CommentNode, DoctypeNode:
 		return
 	case ElementNode:
-		if skipTextTags[n.Tag] {
+		if skipTextTag(n.Tag) {
 			return
 		}
-		if blockTags[n.Tag] {
-			b.WriteByte(' ')
+		if blockTag(n.Tag) {
+			t.writeSpace()
 		}
 	}
 	for c := n.FirstChild; c != nil; c = c.NextSibling {
-		appendText(b, c)
+		appendText(t, c)
 	}
-	if n.Type == ElementNode && blockTags[n.Tag] {
-		b.WriteByte(' ')
+	if n.Type == ElementNode && blockTag(n.Tag) {
+		t.writeSpace()
 	}
 }
 
@@ -83,23 +142,10 @@ func (n *Node) DeepText() string {
 // Price matching depends on this: "3,99&nbsp;€" must compare equal to
 // "3,99 €".
 func NormalizeSpace(s string) string {
-	var b strings.Builder
-	b.Grow(len(s))
-	space := false
-	wrote := false
-	for _, r := range s {
-		if unicode.IsSpace(r) {
-			space = true
-			continue
-		}
-		if space && wrote {
-			b.WriteByte(' ')
-		}
-		space = false
-		wrote = true
-		b.WriteRune(r)
-	}
-	return b.String()
+	var t textNormalizer
+	t.b.Grow(len(s))
+	t.writeString(s)
+	return t.b.String()
 }
 
 // --- inline style and visibility heuristics ------------------------------
@@ -129,7 +175,40 @@ func (n *Node) StyleProps() map[string]string {
 
 // Style returns one inline style property value ("" when absent).
 func (n *Node) Style(prop string) string {
-	return n.StyleProps()[strings.ToLower(prop)]
+	return n.styleVal(strings.ToLower(prop))
+}
+
+// styleVal scans the style attribute for one property without building
+// the StyleProps map — visibility checks run per element on the
+// detection hot path. Like the map (where later declarations
+// overwrite earlier ones), the LAST well-formed declaration wins.
+// prop must be lower-case.
+func (n *Node) styleVal(prop string) string {
+	style, ok := n.Attr("style")
+	if !ok || style == "" {
+		return ""
+	}
+	val := ""
+	for len(style) > 0 {
+		decl := style
+		if semi := strings.IndexByte(style, ';'); semi >= 0 {
+			decl, style = style[:semi], style[semi+1:]
+		} else {
+			style = ""
+		}
+		colon := strings.IndexByte(decl, ':')
+		if colon < 0 {
+			continue
+		}
+		key := strings.TrimSpace(decl[:colon])
+		if !strings.EqualFold(key, prop) {
+			continue
+		}
+		if v := strings.TrimSpace(decl[colon+1:]); v != "" {
+			val = v
+		}
+	}
+	return val
 }
 
 // IsDisplayed reports whether the node itself is displayed (no
@@ -141,14 +220,13 @@ func (n *Node) IsDisplayed() bool {
 	if _, hidden := n.Attr("hidden"); hidden {
 		return false
 	}
-	props := n.StyleProps()
-	if props["display"] == "none" {
+	if n.styleVal("display") == "none" {
 		return false
 	}
-	if v := props["visibility"]; v == "hidden" || v == "collapse" {
+	if v := n.styleVal("visibility"); v == "hidden" || v == "collapse" {
 		return false
 	}
-	if props["opacity"] == "0" {
+	if n.styleVal("opacity") == "0" {
 		return false
 	}
 	return true
@@ -200,12 +278,11 @@ func (n *Node) IsOverlay() bool {
 	if n.Type != ElementNode {
 		return false
 	}
-	props := n.StyleProps()
-	pos := props["position"]
+	pos := n.styleVal("position")
 	if pos == "fixed" || pos == "sticky" {
 		return true
 	}
-	if pos == "absolute" && props["z-index"] != "" {
+	if pos == "absolute" && n.styleVal("z-index") != "" {
 		return true
 	}
 	if role, _ := n.Attr("role"); role == "dialog" || role == "alertdialog" {
@@ -214,9 +291,25 @@ func (n *Node) IsOverlay() bool {
 	if _, ok := n.Attr("aria-modal"); ok {
 		return true
 	}
-	hint := strings.ToLower(n.AttrOr("class", "") + " " + n.AttrOr("id", ""))
-	for _, kw := range []string{"overlay", "modal", "popup", "consent-layer", "cmp-container", "banner"} {
-		if strings.Contains(hint, kw) {
+	return hintsOverlay(n.AttrOr("class", "")) || hintsOverlay(n.AttrOr("id", ""))
+}
+
+// overlayHints are the class/id substrings consent layers use. None
+// contains a space, so checking class and id separately is equivalent
+// to the old scan of their space-joined concatenation.
+var overlayHints = [...]string{
+	"overlay", "modal", "popup", "consent-layer", "cmp-container", "banner",
+}
+
+func hintsOverlay(attr string) bool {
+	if attr == "" {
+		return false
+	}
+	// ToLower returns the input unchanged (no copy) for the usual
+	// already-lower-case markup.
+	lower := strings.ToLower(attr)
+	for _, kw := range overlayHints {
+		if strings.Contains(lower, kw) {
 			return true
 		}
 	}

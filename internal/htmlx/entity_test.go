@@ -80,18 +80,25 @@ func TestUnterminatedConstructs(t *testing.T) {
 	}
 }
 
-func TestAsciiLowerPreservesLength(t *testing.T) {
-	cases := []string{"ABC", "abc", "", "MiXeD", "\xa7\xff UPPER", "ÄÖÜ"}
-	for _, in := range cases {
-		out := asciiLower(in)
-		if len(out) != len(in) {
-			t.Errorf("asciiLower(%q) changed length: %d -> %d", in, len(in), len(out))
+func TestIndexFoldASCII(t *testing.T) {
+	cases := []struct {
+		s, pattern string
+		want       int
+	}{
+		{"</script>", "</script", 0},
+		{"x</SCRIPT>", "</script", 1},
+		{"abc</ScRiPt foo>", "</script", 3},
+		{"no closer here", "</script", -1},
+		{"", "</script", -1},
+		// Invalid UTF-8 must not shift the index (the old whole-string
+		// Unicode lowering re-encoded bad bytes and misaligned offsets).
+		{"\xa7\xff</TITLE>", "</title", 2},
+		{"ÄÖÜ</style>", "</style", 6},
+		{"", "", 0},
+	}
+	for _, c := range cases {
+		if got := indexFoldASCII(c.s, c.pattern); got != c.want {
+			t.Errorf("indexFoldASCII(%q, %q) = %d, want %d", c.s, c.pattern, got, c.want)
 		}
-	}
-	if asciiLower("AbC") != "abc" {
-		t.Fatal("not lowered")
-	}
-	if asciiLower("ÄÖÜ") != "ÄÖÜ" {
-		t.Fatal("non-ASCII must pass through untouched")
 	}
 }

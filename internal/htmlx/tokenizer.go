@@ -22,11 +22,28 @@ type Tokenizer struct {
 	// rawTag, when non-empty, is the element name whose raw-text content
 	// we are inside (script, style, title, textarea, xmp).
 	rawTag string
+	// attrs is this input's attribute arena: every start tag's
+	// attributes are appended here and sliced out with a capped
+	// three-index slice, so one page's attributes cost one or two chunk
+	// allocations instead of one per tag. The arena escapes into the
+	// emitted tokens (and from there into DOM nodes), so Reset drops it
+	// instead of truncating it.
+	attrs []Attribute
 }
 
 // NewTokenizer returns a Tokenizer reading from input.
 func NewTokenizer(input string) *Tokenizer {
 	return &Tokenizer{input: input}
+}
+
+// Reset re-targets the tokenizer at a new input, allowing pooled reuse
+// of the struct. Previously emitted tokens stay valid: the attribute
+// arena is abandoned to them, never overwritten.
+func (z *Tokenizer) Reset(input string) {
+	z.input = input
+	z.pos = 0
+	z.rawTag = ""
+	z.attrs = nil
 }
 
 // Next returns the next token. At end of input it returns a token with
@@ -77,11 +94,12 @@ func isASCIILetter(c byte) bool {
 // following call.
 func (z *Tokenizer) nextRawText() Token {
 	closer := "</" + z.rawTag
-	// asciiLower (not strings.ToLower): Unicode lowering re-encodes
-	// invalid UTF-8 bytes as U+FFFD and CHANGES STRING LENGTH, which
-	// would misalign idx against the raw input (found by fuzzing).
-	low := asciiLower(z.input[z.pos:])
-	idx := strings.Index(low, closer)
+	// Byte-wise ASCII case folding (not strings.ToLower): Unicode
+	// lowering re-encodes invalid UTF-8 bytes as U+FFFD and CHANGES
+	// STRING LENGTH, which would misalign idx against the raw input
+	// (found by fuzzing). indexFoldASCII also avoids copying the whole
+	// remaining input just to search it.
+	idx := indexFoldASCII(z.input[z.pos:], closer)
 	if idx < 0 {
 		// Unterminated raw text: everything remaining is content.
 		data := z.input[z.pos:]
@@ -186,7 +204,7 @@ func (z *Tokenizer) nextEndTag() Token {
 	for i < len(z.input) && isNameByte(z.input[i]) {
 		i++
 	}
-	name := strings.ToLower(z.input[nameStart:i])
+	name := internName(strings.ToLower(z.input[nameStart:i]))
 	// Skip to '>'.
 	for i < len(z.input) && z.input[i] != '>' {
 		i++
@@ -208,8 +226,9 @@ func (z *Tokenizer) nextStartTag() Token {
 	for i < len(z.input) && isNameByte(z.input[i]) {
 		i++
 	}
-	name := strings.ToLower(z.input[nameStart:i])
+	name := internName(strings.ToLower(z.input[nameStart:i]))
 	tok := Token{Type: StartTagToken, Data: name}
+	arenaStart := len(z.attrs)
 	// Attribute loop.
 	for {
 		i = skipSpace(z.input, i)
@@ -232,15 +251,56 @@ func (z *Tokenizer) nextStartTag() Token {
 		}
 		var attr Attribute
 		attr, i = parseAttribute(z.input, i)
-		if attr.Key != "" && !hasAttr(tok.Attr, attr.Key) {
-			tok.Attr = append(tok.Attr, attr)
+		if attr.Key != "" && !hasAttr(z.attrs[arenaStart:], attr.Key) {
+			if z.attrs == nil {
+				z.attrs = make([]Attribute, 0, 32)
+			}
+			z.attrs = append(z.attrs, attr)
 		}
+	}
+	if end := len(z.attrs); end > arenaStart {
+		tok.Attr = z.attrs[arenaStart:end:end]
 	}
 	z.pos = i
 	if tok.Type == StartTagToken && IsRawText(name) {
 		z.rawTag = name
 	}
 	return tok
+}
+
+// internedNames canonicalizes the tag and attribute names the farm and
+// real-world consent markup use constantly. Interning matters in two
+// ways: lower-cased names of already-lower-case input are substrings of
+// the page body, and swapping them for the canonical constant both
+// releases the page string for collection and lets downstream string
+// comparisons hit the pointer-equality fast path.
+var internedNames = func() map[string]string {
+	m := make(map[string]string, 64)
+	for _, n := range []string{
+		"a", "article", "aside", "body", "br", "button", "div", "footer",
+		"form", "h1", "h2", "h3", "head", "header", "html", "iframe",
+		"img", "input", "li", "link", "main", "meta", "nav", "noscript",
+		"ol", "option", "p", "script", "section", "select", "span",
+		"style", "table", "td", "template", "th", "title", "tr", "ul",
+		// attribute names
+		"action", "alt", "aria-modal", "async", "charset", "class",
+		"data-action", "data-cw-if-blocked", "data-cw-inject",
+		"data-scroll-lock-if-blocked", "data-target", "height", "hidden",
+		"href", "id", "lang", "method", "name", "rel", "role",
+		"shadowroot", "shadowrootmode", "src", "type", "width",
+	} {
+		m[n] = n
+	}
+	return m
+}()
+
+// internName returns the canonical instance of a (lower-case) tag or
+// attribute name when it is a common one.
+func internName(s string) string {
+	if c, ok := internedNames[s]; ok {
+		return c
+	}
+	return s
 }
 
 func hasAttr(attrs []Attribute, key string) bool {
@@ -260,7 +320,7 @@ func parseAttribute(s string, i int) (Attribute, int) {
 	for i < len(s) && !isAttrKeyEnd(s[i]) {
 		i++
 	}
-	key := strings.ToLower(s[keyStart:i])
+	key := internName(strings.ToLower(s[keyStart:i]))
 	i = skipSpace(s, i)
 	if i >= len(s) || s[i] != '=' {
 		return Attribute{Key: key}, i
@@ -302,26 +362,38 @@ func isSpaceByte(c byte) bool {
 	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
 }
 
-// asciiLower lower-cases A-Z byte-wise, preserving length even for
-// invalid UTF-8 input.
-func asciiLower(s string) string {
-	hasUpper := false
-	for i := 0; i < len(s); i++ {
-		if s[i] >= 'A' && s[i] <= 'Z' {
-			hasUpper = true
-			break
+// indexFoldASCII returns the index of the first occurrence of pattern
+// in s under byte-wise ASCII case folding, or -1. pattern must already
+// be lower-case ASCII (raw-text closers are). Folding byte-by-byte
+// preserves length even for invalid UTF-8 input.
+func indexFoldASCII(s, pattern string) int {
+	if len(pattern) == 0 {
+		return 0
+	}
+	c0 := pattern[0]
+	u0 := c0
+	if c0 >= 'a' && c0 <= 'z' {
+		u0 = c0 - 32
+	}
+	for i := 0; i+len(pattern) <= len(s); i++ {
+		if s[i] != c0 && s[i] != u0 {
+			continue
+		}
+		j := 1
+		for ; j < len(pattern); j++ {
+			c := s[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 32
+			}
+			if c != pattern[j] {
+				break
+			}
+		}
+		if j == len(pattern) {
+			return i
 		}
 	}
-	if !hasUpper {
-		return s
-	}
-	b := []byte(s)
-	for i, c := range b {
-		if c >= 'A' && c <= 'Z' {
-			b[i] = c + 32
-		}
-	}
-	return string(b)
+	return -1
 }
 
 func skipSpace(s string, i int) int {

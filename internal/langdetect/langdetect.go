@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Result is a language detection outcome.
@@ -89,33 +90,66 @@ const diacriticBonus = 2.0
 // Detect identifies the language of text. Short or empty input returns
 // ("und", 0). Ties break deterministically in favour of the
 // alphabetically first language code.
+//
+// Scoring streams over the text in a single pass: each token is
+// lower-cased into a small reusable buffer and looked up once in a
+// combined word→languages bitmask table, instead of materializing the
+// full lowered text, the token slice, and one map probe per language
+// per token. The scores are identical to the per-language counting by
+// construction (a token contributes 1 to exactly the languages whose
+// stopword set contains it).
 func Detect(text string) Result {
-	words := tokenize(text)
-	if len(words) < 3 {
-		return Result{Lang: "und"}
-	}
-	scores := make(map[string]float64, len(stopwords))
-	for lang, set := range stopwordSets {
-		var s float64
-		for _, w := range words {
-			if set[w] {
-				s++
+	var scores [16]float64 // indexed by langCodes position
+	tokens := 0
+	var buf [64]byte // stack token buffer (no closure, so it never escapes)
+	word := buf[:0]
+	for i := 0; i < len(text); {
+		// ASCII fast path: lower-case and classify bytewise; everything
+		// else goes through the same unicode calls as before. Lowering
+		// happens before the letter test, exactly like FieldsFunc over
+		// strings.ToLower(text) (lowering never changes letter-ness).
+		if c := text[i]; c < utf8.RuneSelf {
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c >= 'a' && c <= 'z' {
+				word = append(word, c)
+				i++
+				continue
+			}
+			i++
+		} else {
+			r, size := utf8.DecodeRuneInString(text[i:])
+			i += size
+			if lr := unicode.ToLower(r); unicode.IsLetter(lr) {
+				word = utf8.AppendRune(word, lr)
+				continue
 			}
 		}
-		scores[lang] = s
+		if len(word) > 0 {
+			tokens++
+			addLangScores(&scores, word)
+			word = word[:0]
+		}
+	}
+	if len(word) > 0 {
+		tokens++
+		addLangScores(&scores, word)
+	}
+	if tokens < 3 {
+		return Result{Lang: "und"}
 	}
 	for lang, runes := range diacriticHints {
 		for _, r := range runes {
 			if strings.ContainsRune(text, r) {
-				scores[lang] += diacriticBonus
+				scores[langIndex[lang]] += diacriticBonus
 			}
 		}
 	}
 	var total float64
 	best, bestScore := "und", 0.0
-	langs := Languages()
-	for _, lang := range langs {
-		s := scores[lang]
+	for i, lang := range langCodes {
+		s := scores[i]
 		total += s
 		if s > bestScore {
 			best, bestScore = lang, s
@@ -127,21 +161,44 @@ func Detect(text string) Result {
 	return Result{Lang: best, Confidence: bestScore / total}
 }
 
-// stopwordSets is the set-form of stopwords, built once.
-var stopwordSets = func() map[string]map[string]bool {
-	m := make(map[string]map[string]bool, len(stopwords))
-	for lang, words := range stopwords {
-		set := make(map[string]bool, len(words))
-		for _, w := range words {
-			set[w] = true
+// addLangScores credits every language whose stopword set contains the
+// token. The map index converts without allocating.
+func addLangScores(scores *[16]float64, word []byte) {
+	mask := wordLangs[string(word)]
+	for i := 0; mask != 0; i++ {
+		if mask&1 != 0 {
+			scores[i]++
 		}
-		m[lang] = set
+		mask >>= 1
+	}
+}
+
+// langCodes is the sorted language list; langIndex its inverse; and
+// wordLangs the combined stopword table mapping each word to the
+// bitmask (over langCodes positions) of languages that use it.
+var langCodes = func() []string {
+	ls := Languages()
+	if len(ls) > 16 {
+		panic("langdetect: more languages than the score array holds")
+	}
+	return ls
+}()
+
+var langIndex = func() map[string]int {
+	m := make(map[string]int, len(langCodes))
+	for i, l := range langCodes {
+		m[l] = i
 	}
 	return m
 }()
 
-func tokenize(text string) []string {
-	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
-		return !unicode.IsLetter(r)
-	})
-}
+var wordLangs = func() map[string]uint16 {
+	m := make(map[string]uint16, 256)
+	for lang, words := range stopwords {
+		bit := uint16(1) << langIndex[lang]
+		for _, w := range words {
+			m[w] |= bit
+		}
+	}
+	return m
+}()

@@ -27,6 +27,7 @@ import (
 	"cookiewalk/internal/categorize"
 	"cookiewalk/internal/cookies"
 	"cookiewalk/internal/core"
+	"cookiewalk/internal/dom"
 	"cookiewalk/internal/langdetect"
 	"cookiewalk/internal/synthweb"
 	"cookiewalk/internal/trackdb"
@@ -164,13 +165,16 @@ func (c *Crawler) Visit(vp vantage.VP, domain string, opts VisitOpts) Observatio
 		// carry consent vocabulary, both of which pollute keyword
 		// counting.
 		content := body
-		if m := page.Doc.QuerySelector("main"); m != nil {
+		if m := page.Doc.Query(mainSel); m != nil {
 			content = m
 		}
 		obs.Category = categorize.Classify(content.Text())
 	}
 	return obs
 }
+
+// mainSel is compiled once: Visit runs it on every page of every crawl.
+var mainSel = dom.MustCompileSelector("main")
 
 // AnalyzeOne runs a single-target campaign: one visit through the same
 // engine path (progress callbacks, shard accounting) as full crawls.

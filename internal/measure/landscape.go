@@ -263,11 +263,6 @@ type CountryPrevalence struct {
 // (errors = unreachable); cookiewall detection comes from the VP of
 // the respective country (US East for the US list).
 func (c *Crawler) Prevalence(l *Landscape) (overall float64, top1k float64, perCountry []CountryPrevalence) {
-	// Reachability per domain from the Germany VP's error set (site
-	// reachability is VP-independent in the registry).
-	de, _ := l.Result("Germany")
-	_ = de
-
 	var totalWalls int
 	unionWalls := map[string]bool{}
 	for _, d := range l.UnionDetections() {

@@ -1,0 +1,47 @@
+package webfarm
+
+import (
+	"testing"
+
+	"cookiewalk/internal/synthweb"
+)
+
+// benchStates mixes the page states a landscape + cookie campaign
+// actually requests.
+func benchStates(sites []*synthweb.Site) []pageState {
+	var sts []pageState
+	for _, s := range sites {
+		sts = append(sts,
+			pageState{site: s, vpName: "Germany"},
+			pageState{site: s, vpName: "Brazil"},
+			pageState{site: s, consented: true, visit: "Germany|0|accept"},
+		)
+	}
+	return sts
+}
+
+// BenchmarkRenderSitePage measures page rendering through the farm's
+// memoizing path (steady-state: every request after the first per key
+// is a cache hit) against the raw renderer.
+func BenchmarkRenderSitePage(b *testing.B) {
+	sites := testReg.CookiewallSites()
+	sts := benchStates(sites)
+	b.Run("cached", func(b *testing.B) {
+		farm := New(testReg)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if farm.renderSitePage(sts[i%len(sts)]) == "" {
+				b.Fatal("empty render")
+			}
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		farm := New(testReg)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if farm.renderSitePageUncached(sts[i%len(sts)]) == "" {
+				b.Fatal("empty render")
+			}
+		}
+	})
+}

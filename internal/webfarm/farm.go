@@ -2,6 +2,7 @@ package webfarm
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -19,6 +20,9 @@ import (
 type Farm struct {
 	reg  *synthweb.Registry
 	seed uint64
+	// renders memoizes deterministic page/banner renders; see
+	// rendercache.go.
+	renders renderCache
 
 	trackerPool []string
 	benignPool  []string
@@ -133,7 +137,7 @@ func (f *Farm) serveTracker(w http.ResponseWriter, r *http.Request, prefix strin
 	}
 	w.Header().Set("Content-Type", "image/gif")
 	w.Header().Set("Cache-Control", "no-store")
-	fmt.Fprint(w, "GIF89a")
+	io.WriteString(w, "GIF89a")
 }
 
 // --- provider hosts ---------------------------------------------------------
@@ -151,10 +155,10 @@ func (f *Farm) serveProvider(w http.ResponseWriter, r *http.Request, providerNam
 		// The "script" response is the declarative banner fragment the
 		// emulated browser injects (substitution for JS execution).
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, f.bannerFragment(site, site.Provider.Host))
+		io.WriteString(w, f.bannerFragment(site, site.Provider.Host))
 	case "/frame":
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, f.bannerDocument(site))
+		io.WriteString(w, f.bannerDocument(site))
 	default:
 		http.NotFound(w, r)
 	}
@@ -189,7 +193,7 @@ func (f *Farm) servePortal(w http.ResponseWriter, r *http.Request, p smp.Platfor
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain")
-		fmt.Fprint(w, acct.Token)
+		io.WriteString(w, acct.Token)
 	default:
 		http.NotFound(w, r)
 	}
@@ -214,7 +218,7 @@ func (f *Farm) serveSite(w http.ResponseWriter, r *http.Request, s *synthweb.Sit
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, f.bannerDocument(s))
+		io.WriteString(w, f.bannerDocument(s))
 	case r.Method == http.MethodGet:
 		f.handlePage(w, r, s)
 	default:
@@ -279,18 +283,39 @@ func (f *Farm) handlePage(w http.ResponseWriter, r *http.Request, s *synthweb.Si
 	f.setFirstPartyCookies(w, st)
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, f.renderSitePage(st))
+	io.WriteString(w, f.renderSitePage(st))
 }
+
+// fpCookieVals precomputes the full Set-Cookie values for the indexed
+// first-party cookies — every page view of every site emits a few, so
+// formatting them per request would dominate the header path.
+var fpCookieVals = func() map[string][]string {
+	m := make(map[string][]string, 3)
+	for _, prefix := range []string{"sess", "subp", "pref"} {
+		vals := make([]string, 64)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("%s_%02d=1; Path=/; Max-Age=604800", prefix, i)
+		}
+		m[prefix] = vals
+	}
+	return m
+}()
 
 // setFirstPartyCookies emits the Set-Cookie headers that realize the
 // site's first-party profile for the current state.
 func (f *Farm) setFirstPartyCookies(w http.ResponseWriter, st pageState) {
 	s := st.site
-	set := func(name string) {
-		w.Header().Add("Set-Cookie", name+"=1; Path=/; Max-Age=604800")
+	set := func(prefix string, i int) {
+		vals := fpCookieVals[prefix]
+		if i < len(vals) {
+			w.Header().Add("Set-Cookie", vals[i])
+			return
+		}
+		w.Header().Add("Set-Cookie",
+			fmt.Sprintf("%s_%02d=1; Path=/; Max-Age=604800", prefix, i))
 	}
 	for i := 0; i < s.Cookies.PreConsentFP; i++ {
-		set(fmt.Sprintf("sess_%02d", i))
+		set("sess", i)
 	}
 	switch {
 	case st.subscribed:
@@ -299,13 +324,13 @@ func (f *Farm) setFirstPartyCookies(w http.ResponseWriter, st pageState) {
 		extra := f.jitter(s.Cookies.SubFP, s.Domain, st.visit, "sub-fp") -
 			s.Cookies.PreConsentFP - 1
 		for i := 0; i < extra; i++ {
-			set(fmt.Sprintf("subp_%02d", i))
+			set("subp", i)
 		}
 	case st.consented:
 		extra := f.jitter(s.Cookies.PostFP, s.Domain, st.visit, "fp") -
 			s.Cookies.PreConsentFP - 1 // consent cookie itself is first-party
 		for i := 0; i < extra; i++ {
-			set(fmt.Sprintf("pref_%02d", i))
+			set("pref", i)
 		}
 	}
 }

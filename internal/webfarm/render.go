@@ -56,8 +56,35 @@ func looksLikeBot(ua string) bool {
 	return false
 }
 
-// renderSitePage produces the full HTML document for a site visit.
+// renderSitePage produces the full HTML document for a site visit,
+// memoized per (site, banner visibility, consent state, jitter label):
+// every request field the renderer reads is captured by that key, so
+// the cached string is byte-identical to a fresh render.
 func (f *Farm) renderSitePage(st pageState) string {
+	key := renderKey{domain: st.site.Domain, kind: kindPage}
+	if st.showBanner() {
+		key.flags |= flagBanner
+	}
+	if st.consented {
+		key.flags |= flagConsented
+	}
+	if st.subscribed {
+		key.flags |= flagSubscribed
+	}
+	if st.consented || st.subscribed {
+		// Only consent/subscription pages embed jittered tracker counts;
+		// everywhere else the visit label does not reach the renderer.
+		key.visit = st.visit
+	}
+	if page, ok := f.renders.get(key); ok {
+		return page
+	}
+	page := f.renderSitePageUncached(st)
+	f.renders.put(key, page)
+	return page
+}
+
+func (f *Farm) renderSitePageUncached(st pageState) string {
 	s := st.site
 	t := textFor(s.Language)
 	kw := keywordsFor(s)
@@ -168,9 +195,25 @@ func providerScriptURL(s *synthweb.Site) string {
 }
 
 // bannerFragment renders the injectable banner markup for a site in
-// its configured embedding. providerHost is non-empty for third-party
-// delivery and controls where iframe documents are served from.
+// its configured embedding, memoized per (site, delivery mode).
+// providerHost is non-empty for third-party delivery and controls
+// where iframe documents are served from; it is always either "" or
+// the site's own provider host, so the delivery kind fully keys it.
 func (f *Farm) bannerFragment(s *synthweb.Site, providerHost string) string {
+	kind := kindFragmentLocal
+	if providerHost != "" {
+		kind = kindFragmentProvider
+	}
+	key := renderKey{domain: s.Domain, kind: kind}
+	if frag, ok := f.renders.get(key); ok {
+		return frag
+	}
+	frag := f.bannerFragmentUncached(s, providerHost)
+	f.renders.put(key, frag)
+	return frag
+}
+
+func (f *Farm) bannerFragmentUncached(s *synthweb.Site, providerHost string) string {
 	switch s.Embedding {
 	case synthweb.EmbedIFrame:
 		src := "/cw-frame.html"
@@ -194,8 +237,18 @@ func (f *Farm) bannerFragment(s *synthweb.Site, providerHost string) string {
 }
 
 // bannerDocument renders the standalone HTML document served to banner
-// iframes.
+// iframes, memoized per site.
 func (f *Farm) bannerDocument(s *synthweb.Site) string {
+	key := renderKey{domain: s.Domain, kind: kindBannerDoc}
+	if doc, ok := f.renders.get(key); ok {
+		return doc
+	}
+	doc := f.bannerDocumentUncached(s)
+	f.renders.put(key, doc)
+	return doc
+}
+
+func (f *Farm) bannerDocumentUncached(s *synthweb.Site) string {
 	return "<!DOCTYPE html>\n<html lang=\"" + s.Language +
 		"\"><head><meta charset=\"utf-8\"><title>Consent</title></head><body>\n" +
 		f.bannerCore(s) + "\n</body></html>\n"

@@ -1,0 +1,99 @@
+package webfarm
+
+import "sync"
+
+// renderCache memoizes rendered documents. Page, banner-fragment and
+// banner-document renders are pure functions of a small key — the
+// site, the consent state, whether the banner is shown to this
+// visitor, and the per-visit jitter label when tracker embeds are on
+// the page — so a landscape crawl that visits every site from eight
+// vantage points re-renders each distinct page once instead of eight
+// times. The cache stores the exact rendered string, which makes
+// cached and uncached output byte-identical by construction.
+//
+// The map is sharded to keep worker contention negligible and bounded
+// per shard: a shard that grows past renderShardMax entries is simply
+// reset (the next render repopulates it), so memory stays bounded
+// without any eviction bookkeeping that could affect results.
+type renderCache struct {
+	shards [renderShards]renderShard
+}
+
+const (
+	renderShards = 64
+	// renderShardMax bounds entries per shard (≈260k entries across the
+	// cache, comfortably above a full-scale crawl's working set of
+	// ~2 variants × 45k sites spread over 64 shards).
+	renderShardMax = 4096
+)
+
+type renderShard struct {
+	mu sync.RWMutex
+	m  map[renderKey]string
+}
+
+// renderKind says which renderer produced an entry.
+type renderKind uint8
+
+const (
+	kindPage renderKind = iota
+	kindFragmentLocal
+	kindFragmentProvider
+	kindBannerDoc
+)
+
+// Page-state flags folded into the key. Everything else a request
+// carries (vantage point, bot UA, rejected consent) influences the
+// render only through showBanner(), which flagBanner captures.
+const (
+	flagBanner uint8 = 1 << iota
+	flagConsented
+	flagSubscribed
+)
+
+type renderKey struct {
+	domain string
+	kind   renderKind
+	flags  uint8
+	// visit is the jitter label, retained only when the render embeds
+	// jittered tracker counts (consented/subscribed pages).
+	visit string
+}
+
+func (c *renderCache) shard(k renderKey) *renderShard {
+	h := fnv32(k.domain)
+	if k.visit != "" {
+		h = h*31 ^ fnv32(k.visit)
+	}
+	h ^= uint32(k.kind)<<8 ^ uint32(k.flags)
+	return &c.shards[h%renderShards]
+}
+
+func (c *renderCache) get(k renderKey) (string, bool) {
+	s := c.shard(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (c *renderCache) put(k renderKey, v string) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if s.m == nil || len(s.m) >= renderShardMax {
+		s.m = make(map[renderKey]string, 64)
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// fnv32 is the FNV-1a hash, inlined to keep shard selection
+// allocation-free.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,209 @@
+package webfarm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cookiewalk/internal/synthweb"
+)
+
+// cacheStates enumerates pageState variants that exercise every field
+// the render key must capture: consent states, VP-visibility classes,
+// bot UAs and jittered visits.
+func cacheStates(s *synthweb.Site) []pageState {
+	return []pageState{
+		{site: s, vpName: "Germany"},
+		{site: s, vpName: "Germany", rejected: true},
+		{site: s, vpName: "Germany", consented: true},
+		{site: s, vpName: "Germany", consented: true, visit: "Germany|0|accept"},
+		{site: s, vpName: "Germany", consented: true, visit: "Germany|1|accept"},
+		{site: s, vpName: "Germany", subscribed: true, visit: "Germany|0|sub"},
+		{site: s, vpName: "Germany", consented: true, subscribed: true, visit: "Germany|2|sub"},
+		{site: s, vpName: "Brazil"},
+		{site: s, vpName: ""},
+		{site: s, vpName: "Germany", botUA: true},
+		{site: s, vpName: "US East", botUA: true},
+	}
+}
+
+// testSites picks a representative site population: cookiewalls in
+// every embedding, a VP-restricted wall, a bot-sensitive site and a
+// few regular/filler sites.
+func testSites(t *testing.T) []*synthweb.Site {
+	t.Helper()
+	var sites []*synthweb.Site
+	sites = append(sites,
+		pickCookiewall(t, func(s *synthweb.Site) bool { return s.Provider.Name == "local" }),
+		pickCookiewall(t, func(s *synthweb.Site) bool { return s.Provider.Host != "" }),
+		pickCookiewall(t, func(s *synthweb.Site) bool { return s.Embedding == synthweb.EmbedIFrame }),
+		pickCookiewall(t, func(s *synthweb.Site) bool { return s.Embedding == synthweb.EmbedShadowClosed }),
+		pickCookiewall(t, func(s *synthweb.Site) bool { return len(s.ShowToVPs) > 0 }),
+	)
+	botSensitive, regular := false, 0
+	for _, s := range testReg.Sites() {
+		if !s.Reachable {
+			continue
+		}
+		if s.BotSensitive && !botSensitive {
+			sites = append(sites, s)
+			botSensitive = true
+		} else if s.Banner == synthweb.BannerRegular && regular < 3 {
+			sites = append(sites, s)
+			regular++
+		}
+		if botSensitive && regular >= 3 {
+			break
+		}
+	}
+	return sites
+}
+
+// TestRenderCacheByteIdentical pins the cache's core contract: for
+// every site and page state, the cached render (second call), the
+// cache-populating render (first call) and a direct uncached render
+// are the same bytes.
+func TestRenderCacheByteIdentical(t *testing.T) {
+	farm := New(testReg) // fresh farm => empty cache
+	for _, s := range testSites(t) {
+		for i, st := range cacheStates(s) {
+			first := farm.renderSitePage(st)
+			second := farm.renderSitePage(st)
+			direct := farm.renderSitePageUncached(st)
+			if first != direct {
+				t.Errorf("%s state %d: populating render != uncached render", s.Domain, i)
+			}
+			if second != direct {
+				t.Errorf("%s state %d: cached render != uncached render", s.Domain, i)
+			}
+		}
+		if s.Banner == synthweb.BannerNone {
+			continue
+		}
+		if got, want := farm.bannerDocument(s), farm.bannerDocumentUncached(s); got != want {
+			t.Errorf("%s: cached banner document diverges", s.Domain)
+		}
+		host := ""
+		if s.Provider.Host != "" {
+			host = s.Provider.Host
+		}
+		if got, want := farm.bannerFragment(s, host), farm.bannerFragmentUncached(s, host); got != want {
+			t.Errorf("%s: cached banner fragment diverges", s.Domain)
+		}
+	}
+}
+
+// TestRenderCacheKeyCoversJitter makes sure distinct visit labels on
+// consent pages do not collide in the cache (their tracker-embed
+// jitter differs), while pre-consent pages ignore the label entirely.
+func TestRenderCacheKeyCoversJitter(t *testing.T) {
+	farm := New(testReg)
+	// Jitter may round to the same counts for one site, so find a
+	// (site, label pair) whose UNCACHED renders differ, then check the
+	// cache preserves exactly that difference.
+	var site *synthweb.Site
+	var stA, stB pageState
+	for _, s := range testReg.CookiewallSites() {
+		if s.Cookies.PostTracking == 0 {
+			continue
+		}
+		for v := 1; v < 6 && site == nil; v++ {
+			a := pageState{site: s, consented: true, visit: "Germany|0|accept"}
+			b := pageState{site: s, consented: true, visit: fmt.Sprintf("Germany|%d|accept", v)}
+			if farm.renderSitePageUncached(a) != farm.renderSitePageUncached(b) {
+				site, stA, stB = s, a, b
+			}
+		}
+		if site != nil {
+			break
+		}
+	}
+	if site == nil {
+		t.Fatal("no site with visit-jitter-distinct consent renders found")
+	}
+	vA := farm.renderSitePage(stA)
+	vB := farm.renderSitePage(stB)
+	if vA == vB {
+		t.Fatalf("%s: consent renders for distinct visit labels collide in the cache", site.Domain)
+	}
+	if vA != farm.renderSitePageUncached(stA) || vB != farm.renderSitePageUncached(stB) {
+		t.Fatalf("%s: cached jittered renders diverge from uncached", site.Domain)
+	}
+	// Pre-consent pages never embed jittered counts: any label must hit
+	// the same cache entry and the same bytes.
+	p0 := farm.renderSitePage(pageState{site: site, vpName: "Germany"})
+	p1 := farm.renderSitePage(pageState{site: site, vpName: "Germany", visit: "Germany|1|accept"})
+	if p0 != p1 {
+		t.Fatalf("%s: pre-consent render depends on visit label", site.Domain)
+	}
+}
+
+// TestRenderCacheConcurrent hammers one farm's cache from many
+// goroutines across sites and states and checks every result against
+// an uncached reference render. Run with -race, this is the
+// cache-correctness gate for parallel campaigns.
+func TestRenderCacheConcurrent(t *testing.T) {
+	farm := New(testReg)
+	ref := New(testReg) // renders references through its own cache-free path
+	sites := testSites(t)
+
+	type job struct {
+		st   pageState
+		want string
+	}
+	var jobs []job
+	for _, s := range sites {
+		for _, st := range cacheStates(s) {
+			jobs = append(jobs, job{st: st, want: ref.renderSitePageUncached(st)})
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, j := range jobs {
+					// Vary the order per worker so gets and puts interleave.
+					j = jobs[(i+w*7+rep)%len(jobs)]
+					if got := farm.renderSitePage(j.st); got != j.want {
+						select {
+						case errs <- fmt.Sprintf("worker %d: %s render diverged under concurrency", w, j.st.site.Domain):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestRenderCacheBounded checks the overflow behaviour: a shard that
+// exceeds its entry bound resets and keeps serving correct renders.
+func TestRenderCacheBounded(t *testing.T) {
+	var c renderCache
+	for i := 0; i < 3*renderShardMax; i++ {
+		k := renderKey{domain: fmt.Sprintf("site-%06d.example", i), kind: kindPage}
+		c.put(k, k.domain)
+	}
+	for i := range c.shards {
+		if n := len(c.shards[i].m); n > renderShardMax {
+			t.Fatalf("shard %d holds %d entries, bound is %d", i, n, renderShardMax)
+		}
+	}
+	// Entries written after a reset are still served.
+	k := renderKey{domain: "after-reset.example", kind: kindPage}
+	c.put(k, "page")
+	if v, ok := c.get(k); !ok || v != "page" {
+		t.Fatal("cache lost an entry written after overflow reset")
+	}
+}

@@ -12,6 +12,12 @@ import (
 // unreachable sites like connection timeouts: the RoundTripper returns
 // an error, exactly what a real crawler's HTTP client would surface.
 //
+// The returned transport also implements the emulated browser's
+// zero-copy fast path (RoundTripBody): the handler's response body is
+// handed over as a string — usually the farm's cached render, shared
+// unsliced — skipping the httptest recorder, the http.Response
+// reconstruction and the io.ReadAll round trip entirely. RoundTrip
+// remains as the compatibility path for plain net/http clients;
 // cmd/webfarm serves the identical handler on a real listener for
 // interactive exploration.
 func (f *Farm) Transport() http.RoundTripper {
@@ -35,21 +41,114 @@ func (e *HostError) Error() string {
 	return fmt.Sprintf("webfarm: %s: %s", e.Host, e.Reason)
 }
 
-func (t *inProcessTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+// resolve applies the NXDOMAIN/timeout emulation shared by both
+// round-trip paths.
+func (t *inProcessTransport) resolve(req *http.Request) error {
 	host := req.Host
 	if host == "" {
 		host = req.URL.Host
 	}
 	known, reachable := t.farm.KnownHost(host)
 	if !known {
-		return nil, &HostError{Host: host, Reason: "no such host"}
+		return &HostError{Host: host, Reason: "no such host"}
 	}
 	if !reachable {
-		return nil, &HostError{Host: host, Reason: "unreachable"}
+		return &HostError{Host: host, Reason: "unreachable"}
+	}
+	return nil
+}
+
+func (t *inProcessTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := t.resolve(req); err != nil {
+		return nil, err
 	}
 	rec := httptest.NewRecorder()
 	t.farm.ServeHTTP(rec, req)
 	resp := rec.Result()
 	resp.Request = req
 	return resp, nil
+}
+
+// RoundTripBody is the allocation-lean dispatch path: the response body
+// comes back as a string with no recorder, reader or double copy in
+// between. It matches the structural interface the emulated browser
+// probes for.
+func (t *inProcessTransport) RoundTripBody(req *http.Request) (status int, header http.Header, body string, err error) {
+	if err := t.resolve(req); err != nil {
+		return 0, nil, "", err
+	}
+	var rec fastRecorder
+	t.farm.ServeHTTP(&rec, req)
+	return rec.status(), rec.header, rec.body(), nil
+}
+
+// fastRecorder is a minimal http.ResponseWriter that captures status,
+// headers and body. Handlers that write their whole body with a single
+// io.WriteString (the farm's page handlers do — their bodies come from
+// the render cache) hand the string through without any copy.
+type fastRecorder struct {
+	header http.Header
+	code   int
+	str    string // body when captured from a single WriteString
+	buf    []byte // accumulation fallback
+}
+
+// Header implements http.ResponseWriter.
+func (r *fastRecorder) Header() http.Header {
+	if r.header == nil {
+		r.header = make(http.Header, 4)
+	}
+	return r.header
+}
+
+// WriteHeader implements http.ResponseWriter; like the real server,
+// only the first call sticks.
+func (r *fastRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+// Write implements io.Writer.
+func (r *fastRecorder) Write(p []byte) (int, error) {
+	r.WriteHeader(http.StatusOK)
+	r.flattenStr()
+	r.buf = append(r.buf, p...)
+	return len(p), nil
+}
+
+// WriteString implements io.StringWriter; the first write on a
+// response is retained as-is, with no copy.
+func (r *fastRecorder) WriteString(s string) (int, error) {
+	r.WriteHeader(http.StatusOK)
+	if r.str == "" && r.buf == nil {
+		r.str = s
+		return len(s), nil
+	}
+	r.flattenStr()
+	r.buf = append(r.buf, s...)
+	return len(s), nil
+}
+
+// flattenStr moves a previously captured zero-copy string into the
+// byte buffer when more writes follow.
+func (r *fastRecorder) flattenStr() {
+	if r.str != "" {
+		r.buf = append(r.buf, r.str...)
+		r.str = ""
+	}
+}
+
+func (r *fastRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}
+
+func (r *fastRecorder) body() string {
+	if r.str != "" {
+		return r.str
+	}
+	return string(r.buf)
 }
