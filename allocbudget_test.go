@@ -9,36 +9,45 @@ import (
 	"cookiewalk/internal/vantage"
 )
 
-// Per-visit allocation budgets for the crawl hot path. The PR-2 visit
-// path lands around 83 allocs for a cookiewall visit and 70 for a
-// regular-banner visit (seed baseline before the zero-copy work:
-// ~222); the budgets carry ~75% headroom for toolchain drift while
-// still failing tier-1 long before the hot path regresses to its old
-// allocation profile.
+// Per-visit allocation budgets for the crawl hot path, split by memo
+// state since PR 3's analysis cache:
+//
+//   - cached: the steady-state landscape visit — transport dispatch and
+//     a fingerprint lookup, NO parse/detect/classify. Measured ~23
+//     allocs (cookiewall) / ~15 (regular).
+//   - uncached: the full pipeline a memo miss runs — parse, detection,
+//     language, category. Measured ~84 allocs (cookiewall) / ~70
+//     (regular), essentially PR 2's visit cost plus the frozen-words
+//     copy.
+//
+// Budgets carry ~65-75% headroom for toolchain drift while still
+// failing tier-1 long before either path regresses to its previous
+// profile (seed baseline: ~222 allocs per visit).
 const (
-	cookiewallVisitAllocBudget = 150
-	regularVisitAllocBudget    = 125
+	cookiewallCachedAllocBudget   = 40
+	regularCachedAllocBudget      = 30
+	cookiewallUncachedAllocBudget = 150
+	regularUncachedAllocBudget    = 125
 )
 
 // TestVisitAllocBudget pins the allocation count of the single-visit
-// hot path — transport dispatch, parse, detection, classification —
-// so allocation regressions fail tier-1 instead of surfacing months
-// later in campaign wall-clock time.
+// hot path in both memo states, so allocation regressions fail tier-1
+// instead of surfacing months later in campaign wall-clock time.
 func TestVisitAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc counting is exact; skip in -short/-race runs")
 	}
 	s := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2})
+	noMemo := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2, NoAnalysisCache: true})
 	vp, ok := vantage.ByName("Germany")
 	if !ok {
 		t.Fatal("no Germany VP")
 	}
-	c := s.Crawler()
 
 	wall := s.CookiewallDomains()[0]
 	regular := ""
 	for _, d := range s.Targets() {
-		if o := c.Visit(vp, d, measure.VisitOpts{}); o.Err == "" && o.Kind == core.KindRegular {
+		if o := s.Crawler().Visit(vp, d, measure.VisitOpts{}); o.Err == "" && o.Kind == core.KindRegular {
 			regular = d
 			break
 		}
@@ -49,12 +58,16 @@ func TestVisitAllocBudget(t *testing.T) {
 
 	for _, tc := range []struct {
 		name, domain string
+		crawler      *measure.Crawler
 		budget       float64
 	}{
-		{"cookiewall", wall, cookiewallVisitAllocBudget},
-		{"regular", regular, regularVisitAllocBudget},
+		{"cookiewall-cached", wall, s.Crawler(), cookiewallCachedAllocBudget},
+		{"regular-cached", regular, s.Crawler(), regularCachedAllocBudget},
+		{"cookiewall-uncached", wall, noMemo.Crawler(), cookiewallUncachedAllocBudget},
+		{"regular-uncached", regular, noMemo.Crawler(), regularUncachedAllocBudget},
 	} {
-		c.Visit(vp, tc.domain, measure.VisitOpts{}) // warm the render cache
+		c := tc.crawler
+		c.Visit(vp, tc.domain, measure.VisitOpts{}) // warm render + analysis caches
 		got := testing.AllocsPerRun(50, func() {
 			if o := c.Visit(vp, tc.domain, measure.VisitOpts{}); o.Err != "" {
 				t.Fatal(o.Err)

@@ -165,18 +165,31 @@ func smallScale(b *testing.B) *cookiewalk.Study {
 }
 
 // BenchmarkVisit measures the campaign's per-visit unit of work on the
-// crawl hot path — fetch through the in-process transport, parse,
-// detect, classify — for a cookiewall site and a regular-banner site.
+// crawl hot path, in both memo states:
+//
+//   - cookiewall/regular run with the analysis cache DISABLED: the full
+//     fetch-parse-detect-classify pipeline of a memo miss, directly
+//     comparable to the pre-PR3 per-visit numbers;
+//   - cached-repeat runs the default memoizing path on a warm cache —
+//     the steady-state cost of the 2nd..8th vantage point loading an
+//     identical render (fetch + fingerprint lookup, no parse).
 func BenchmarkVisit(b *testing.B) {
 	s := smallScale(b)
 	vp, _ := vantage.ByName("Germany")
-	c := s.Crawler()
-	for _, bc := range []struct{ name, domain string }{
-		{"cookiewall", s.CookiewallDomains()[0]},
-		{"regular", regularDomain(b, s)},
+	noMemo := measure.New(s.Crawler().Reg, s.Transport())
+	noMemo.NoAnalysisCache = true
+	wall := s.CookiewallDomains()[0]
+	for _, bc := range []struct {
+		name, domain string
+		crawler      *measure.Crawler
+	}{
+		{"cookiewall", wall, noMemo},
+		{"regular", regularDomain(b, s), noMemo},
+		{"cached-repeat", wall, s.Crawler()},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
-			c.Visit(vp, bc.domain, measure.VisitOpts{}) // warm render cache
+			c := bc.crawler
+			c.Visit(vp, bc.domain, measure.VisitOpts{}) // warm render + analysis caches
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -93,6 +93,13 @@ type Config struct {
 	// snapshots (shard, visit and error counters) from every crawl the
 	// study runs.
 	Progress func(Progress)
+	// NoAnalysisCache disables the content-fingerprint memoization of
+	// page analysis (parse → detect → language → category), forcing
+	// every visit through the full pipeline. Results are byte-identical
+	// either way; turn this on when debugging a detection change so a
+	// stale memo can never mask its effect. Purely a debug/verification
+	// knob — leave it off for throughput.
+	NoAnalysisCache bool
 }
 
 // Progress is a point-in-time snapshot of a running crawl campaign.
@@ -130,6 +137,7 @@ func New(cfg Config) *Study {
 	crawler := measure.New(reg, farm.Transport())
 	crawler.Workers = cfg.Workers
 	crawler.Shards = cfg.Shards
+	crawler.NoAnalysisCache = cfg.NoAnalysisCache
 	if cfg.Progress != nil {
 		crawler.Progress = func(p campaign.Progress) {
 			cfg.Progress(Progress{
@@ -233,15 +241,17 @@ func (s *Study) analyze(vpName, domain string, blocker *adblock.Engine) (SiteRep
 		return SiteReport{}, fmt.Errorf("cookiewalk: visit %s: %w", domain, err)
 	}
 	return SiteReport{
-		Domain:       o.Domain,
-		VP:           o.VP,
-		BannerKind:   o.Kind.String(),
-		Embedding:    o.Source.String(),
-		ShadowMode:   o.ShadowMode,
-		HasAccept:    o.HasAccept,
-		HasReject:    o.HasReject,
-		HasSub:       o.HasSub,
-		MatchedWords: o.MatchedWords,
+		Domain:     o.Domain,
+		VP:         o.VP,
+		BannerKind: o.Kind.String(),
+		Embedding:  o.Source.String(),
+		ShadowMode: o.ShadowMode,
+		HasAccept:  o.HasAccept,
+		HasReject:  o.HasReject,
+		HasSub:     o.HasSub,
+		// Copied: observations share their word slice with the process-
+		// wide analysis memo, and public API consumers own their result.
+		MatchedWords: append([]string(nil), o.MatchedWords...),
 		PriceEUR:     o.MonthlyEUR,
 		Language:     o.Language,
 		Category:     o.Category,

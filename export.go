@@ -90,9 +90,10 @@ func (s *Study) BuildDataset() Dataset {
 			Embedding:  o.Source.String(),
 			ShadowMode: o.ShadowMode,
 			PriceEUR:   o.MonthlyEUR,
-			Words:      o.MatchedWords,
-			HasAccept:  o.HasAccept,
-			HasSub:     o.HasSub,
+			// Copied: the observation's slice aliases the analysis memo.
+			Words:     append([]string(nil), o.MatchedWords...),
+			HasAccept: o.HasAccept,
+			HasSub:    o.HasSub,
 		}
 		if site, ok := s.reg.Site(o.Domain); ok {
 			rec.Provider = site.Provider.Name

@@ -55,3 +55,43 @@ func TestGoldenAllReport(t *testing.T) {
 	t.Fatalf("output length changed: got %d lines, want %d lines",
 		len(gotLines), len(wantLines))
 }
+
+// TestGoldenReportAnalysisCacheOnOff pins the tentpole invariant of
+// the analysis memo: the COMPLETE experiment output is byte-identical
+// with the content-fingerprint analysis cache enabled (default) and
+// disabled (NoAnalysisCache), and both match the golden snapshot. A
+// VP-dependence leak into the memoized pipeline, a fingerprint
+// collision, or a shared-slice mutation would each surface as a diff
+// here.
+func TestGoldenReportAnalysisCacheOnOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full scale-0.02 experiment twice")
+	}
+	on := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2})
+	off := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2, NoAnalysisCache: true})
+	gotOn, err := on.Report(cookiewalk.ExpAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOff, err := off.Report(cookiewalk.ExpAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOn != gotOff {
+		onLines, offLines := strings.Split(gotOn, "\n"), strings.Split(gotOff, "\n")
+		for i := 0; i < len(onLines) && i < len(offLines); i++ {
+			if onLines[i] != offLines[i] {
+				t.Fatalf("cache-on output diverges from cache-off at line %d:\n  on: %q\n off: %q",
+					i+1, onLines[i], offLines[i])
+			}
+		}
+		t.Fatalf("cache-on/off outputs differ in length: %d vs %d lines", len(onLines), len(offLines))
+	}
+	want, err := os.ReadFile("testdata/golden_all.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOn != string(want) {
+		t.Fatal("cache-on/off outputs agree with each other but not with the golden snapshot")
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"cookiewalk/internal/dom"
 	"cookiewalk/internal/publicsuffix"
+	"cookiewalk/internal/xrand"
 )
 
 // Rule is one parsed network rule.
@@ -65,19 +66,30 @@ type Engine struct {
 	globalCosmetics []*dom.Selector
 	// hasScopedCosmetics records whether any rule is domain-scoped.
 	hasScopedCosmetics bool
+	// fp is the content hash of the engine's lists, computed once at
+	// construction (see Fingerprint).
+	fp uint64
 }
 
 // NewEngine parses filter-list text (one rule per line) into an engine.
 // Unparseable lines are skipped, like real ad blockers do.
 func NewEngine(lists ...string) *Engine {
-	e := &Engine{}
+	e := &Engine{fp: xrand.Hash64("adblock.Engine")}
 	for _, list := range lists {
+		e.fp = xrand.Mix64(e.fp, xrand.Hash64(list))
 		for _, line := range strings.Split(list, "\n") {
 			e.addLine(strings.TrimSpace(line))
 		}
 	}
 	return e
 }
+
+// Fingerprint returns a stable content hash of the engine's filter
+// lists (order-sensitive, computed once at construction). Two engines
+// built from identical list text share a fingerprint even across
+// separate NewEngine calls — which lets page-analysis memoization key
+// on blocker CONFIGURATION rather than engine identity.
+func (e *Engine) Fingerprint() uint64 { return e.fp }
 
 func (e *Engine) addLine(line string) {
 	if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "[") {

@@ -29,6 +29,7 @@ import (
 	"cookiewalk/internal/cookies"
 	"cookiewalk/internal/dom"
 	"cookiewalk/internal/vantage"
+	"cookiewalk/internal/xrand"
 )
 
 // Browser is an emulated browser session. It is NOT safe for
@@ -113,6 +114,9 @@ type Page struct {
 	// AdblockPlea reports the hausbau-forum.de quirk: the page asks the
 	// user to disable the blocker.
 	AdblockPlea bool
+	// Fingerprint is the page's content token, carried over from the
+	// FetchTop that produced it (see FetchResult.Fingerprint).
+	Fingerprint uint64
 }
 
 // Host returns the page's host without port.
@@ -120,21 +124,94 @@ func (p *Page) Host() string { return p.URL.Hostname() }
 
 // Open loads a page: fetch, parse, run directives, frames, resources.
 func (b *Browser) Open(rawurl string) (*Page, error) {
-	resp, finalURL, err := b.fetch(http.MethodGet, rawurl, nil, b.MaxRedirects, maxPageBody)
+	fr, err := b.FetchTop(rawurl)
 	if err != nil {
 		return nil, err
 	}
+	return b.Compose(fr), nil
+}
+
+// FetchResult is a fetched-but-not-yet-composed top-level document:
+// the first half of Open. It exists so callers that memoize page
+// ANALYSIS by content can stop here on a fingerprint hit and skip
+// parsing and composition entirely.
+type FetchResult struct {
+	// URL is the final URL after redirects.
+	URL *url.URL
+	// Status is the final HTTP status code.
+	Status int
+	// Body is the raw top-level document.
+	Body string
+	// Fingerprint is a stable content token for the page this fetch
+	// composes into. It folds together the body's content hash (handed
+	// back by fingerprint-aware transports, or hashed from the bytes on
+	// the plain http.RoundTripper path), the final URL, the status, the
+	// frame-depth limit and the blocker configuration — every input of
+	// Compose that is not itself fetched through the transport.
+	//
+	// Equal fingerprints imply byte-identical composed pages and
+	// analysis results PROVIDED the transport is deterministic (equal
+	// subresource requests receive equal responses). That holds for the
+	// synthetic webfarm in-process and over a real listener; a
+	// live-Internet transport offers no such guarantee, and callers
+	// there must not memoize by fingerprint.
+	Fingerprint uint64
+}
+
+// FetchTop performs only the top-level document fetch of Open — no
+// parsing, no frames, no subresources.
+func (b *Browser) FetchTop(rawurl string) (FetchResult, error) {
+	resp, finalURL, err := b.fetch(http.MethodGet, rawurl, nil, b.MaxRedirects, maxPageBody)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	return FetchResult{
+		URL:         finalURL,
+		Status:      resp.status,
+		Body:        resp.body,
+		Fingerprint: b.pageFingerprint(resp, finalURL),
+	}, nil
+}
+
+// pageFingerprint folds every non-fetched Compose input into the
+// body's content hash. The URL is mixed component-wise to avoid the
+// URL.String allocation on the per-visit hot path.
+func (b *Browser) pageFingerprint(resp response, u *url.URL) uint64 {
+	fp := resp.fp
+	if fp == 0 {
+		// Fallback fingerprinting: plain transports (cmd/webfarm's real
+		// listener, net/http) hand no token, so hash the bytes we read —
+		// the same xrand.Hash64 the farm memoizes, so both paths agree
+		// on identical content.
+		fp = xrand.Hash64(resp.body)
+	}
+	h := xrand.Mix64(fp, uint64(resp.status))
+	h = xrand.Mix64(h, xrand.Hash64(u.Scheme))
+	h = xrand.Mix64(h, xrand.Hash64(u.Host))
+	h = xrand.Mix64(h, xrand.Hash64(u.Path))
+	h = xrand.Mix64(h, uint64(b.MaxFrameDepth))
+	if b.Blocker != nil {
+		h = xrand.Mix64(h, b.Blocker.Fingerprint())
+	}
+	return h
+}
+
+// Compose builds the fully loaded page from a fetched document: parse,
+// script directives, frames, subresources, cosmetic filtering and
+// anti-adblock detectors — the second half of Open.
+func (b *Browser) Compose(fr FetchResult) *Page {
 	page := &Page{
-		URL:    finalURL,
-		Doc:    dom.Parse(resp.body),
-		Status: resp.status,
+		URL:         fr.URL,
+		Doc:         dom.Parse(fr.Body),
+		Status:      fr.Status,
+		Fingerprint: fr.Fingerprint,
 	}
 	b.runScriptDirectives(page)
 	b.loadFrames(page, page.Doc, b.MaxFrameDepth)
 	b.fetchSubresources(page)
 	b.applyCosmetics(page)
 	b.applyAdblockDetectors(page)
-	return page, nil
+	return page
 }
 
 const (
@@ -147,13 +224,15 @@ const (
 
 // bodyTransport is the zero-copy dispatch fast path implemented by
 // webfarm's in-process transport: the response body comes back as a
-// string, with no http.Response reconstruction and no
+// string — along with its stable content fingerprint, memoized by the
+// server's render cache — with no http.Response reconstruction and no
 // io.ReadAll + string(bytes) double copy. Matching is structural, so
 // the webfarm package needs no import of this one. Transports that do
 // not implement it (cmd/webfarm's real net/http transport) take the
-// http.RoundTripper path below.
+// http.RoundTripper path below, where the fingerprint is recomputed by
+// hashing the downloaded bytes with the same function.
 type bodyTransport interface {
-	RoundTripBody(req *http.Request) (status int, header http.Header, body string, err error)
+	RoundTripBody(req *http.Request) (status int, header http.Header, body string, fp uint64, err error)
 }
 
 // response is one fetched HTTP response with the body fully read.
@@ -161,6 +240,13 @@ type response struct {
 	status int
 	header http.Header
 	body   string
+	// fp is the body's content hash as provided by a fingerprint-aware
+	// transport (the farm's memoized value), or 0 when the transport
+	// handed none — plain RoundTrippers, truncated reads. Only the
+	// top-level document's fingerprint is ever consumed, so the
+	// missing-hash case is resolved lazily in pageFingerprint instead
+	// of hashing every subresource body on the compatibility path.
+	fp uint64
 }
 
 // fetch performs one HTTP request with cookies, geo headers, blocker
@@ -202,14 +288,17 @@ func (b *Browser) fetch(method, rawurl string, form url.Values, redirectsLeft, l
 // roundTrip dispatches one request, preferring the zero-copy body path.
 func (b *Browser) roundTrip(req *http.Request, rawurl string, limit int) (response, error) {
 	if bt, ok := b.Transport.(bodyTransport); ok {
-		status, header, body, err := bt.RoundTripBody(req)
+		status, header, body, fp, err := bt.RoundTripBody(req)
 		if err != nil {
 			return response{}, err
 		}
 		if len(body) > limit {
+			// The transport's fingerprint describes the full body; a
+			// truncated read is re-hashed lazily if ever consumed.
 			body = body[:limit]
+			fp = 0
 		}
-		return response{status: status, header: header, body: body}, nil
+		return response{status: status, header: header, body: body, fp: fp}, nil
 	}
 	resp, err := b.Transport.RoundTrip(req)
 	if err != nil {

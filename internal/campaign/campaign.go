@@ -299,16 +299,3 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 	sh.Canceled += (hi - lo) - sh.Done - sh.Canceled
 	return sh
 }
-
-// Map runs visit over targets and materializes all results positionally
-// (out[i] belongs to targets[i]) — for campaigns whose downstream
-// genuinely needs the full result set, e.g. per-site tables. Errored
-// visits keep their (possibly partial) value in place.
-func Map[T, R any](ctx context.Context, cfg Config, targets []T,
-	visit func(context.Context, T) (R, error)) ([]R, Stats, error) {
-	out := make([]R, len(targets))
-	stats, err := Run(ctx, cfg, targets, visit, func(r Result[R]) {
-		out[r.Index] = r.Value
-	})
-	return out, stats, err
-}

@@ -68,16 +68,26 @@ func TestRunDeliversInOrder(t *testing.T) {
 	}
 }
 
-// TestMapPositional checks Map's contract: out[i] belongs to
-// targets[i], with errored visits keeping their value in place.
-func TestMapPositional(t *testing.T) {
+// TestRunOrderedAppendMaterialization checks the streaming contract
+// the experiment paths build on since Map's removal: appending each
+// delivered value reproduces the positional layout (out[i] belongs to
+// targets[i]), with errored visits keeping their partial value in
+// place.
+func TestRunOrderedAppendMaterialization(t *testing.T) {
 	targets := []string{"a", "b", "c", "d"}
-	out, stats, err := Map(context.Background(), Config{Workers: 3}, targets,
+	out := make([]string, 0, len(targets))
+	stats, err := Run(context.Background(), Config{Workers: 3}, targets,
 		func(_ context.Context, s string) (string, error) {
 			if s == "c" {
 				return "C!", errors.New("boom")
 			}
 			return strings.ToUpper(s), nil
+		},
+		func(r Result[string]) {
+			if r.Index != len(out) {
+				t.Errorf("delivery index %d out of order (have %d values)", r.Index, len(out))
+			}
+			out = append(out, r.Value)
 		})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,40 @@
+package core
+
+// Analysis is the vantage-point-independent outcome of analyzing one
+// fully composed page: the banner detection verdict, the §3
+// classification evidence, the language/category measurements and the
+// §4.5 anti-adblock quirks. Every field is a pure function of page
+// CONTENT — nothing here depends on which vantage point, repetition or
+// worker produced the page — which is what makes Analysis values
+// memoizable by content fingerprint across an eight-vantage-point
+// crawl.
+//
+// Cached Analysis values are shared between visits, so they must be
+// treated as immutable: MatchedWords is frozen at construction (exact
+// length, never appended to or reordered by consumers).
+type Analysis struct {
+	Kind       Kind
+	Source     Source
+	ShadowMode string
+	HasAccept  bool
+	HasReject  bool
+	HasSub     bool
+
+	// MatchedWords are the §3 subscription-corpus hits. Frozen: shared
+	// by every visit that resolves to the same page content.
+	MatchedWords []string
+	PriceCount   int
+	MonthlyEUR   float64
+
+	// Language and Category are measured from page text (the CLD3 and
+	// FortiGuard substitutes).
+	Language string
+	Category string
+
+	// AdblockPlea and ScrollLocked are the §4.5 quirks. They derive
+	// from which sentinel URLs the blocker suppressed during page
+	// composition, which the fingerprint captures via the blocker
+	// configuration.
+	AdblockPlea  bool
+	ScrollLocked bool
+}

@@ -1,0 +1,98 @@
+package measure
+
+import (
+	"sync"
+
+	"cookiewalk/internal/core"
+)
+
+// analysisCache memoizes page-analysis results (core.Analysis) by
+// content fingerprint: the post-fetch pipeline — parse, core.Detect,
+// language detection, categorization — runs ONCE per distinct page
+// body instead of once per visit. An eight-vantage-point landscape
+// crawl loads at most two distinct renders per site (banner shown or
+// not), so up to eight visits collapse onto one analysis.
+//
+// The cache is process-global (like the browser pool): fingerprints
+// are content hashes, so entries from different studies can only
+// collide the way any 64-bit content hash can, and byte-identical
+// pages genuinely share their analysis.
+//
+// Concurrency: shards keep worker contention negligible, and each
+// entry is a singleflight slot — the first goroutine to claim a
+// fingerprint computes the analysis while concurrent claimants for the
+// same fingerprint block on the entry's done channel instead of
+// duplicating in-flight work. Bounding mirrors the webfarm render
+// cache: a shard past analysisShardMax entries is reset (in-flight
+// entries survive through their pointers; the next visit repopulates),
+// so memory stays bounded with no eviction bookkeeping that could
+// affect results.
+type analysisCache struct {
+	shards [analysisShards]analysisShard
+}
+
+const (
+	analysisShards = 64
+	// analysisShardMax bounds entries per shard (≈260k across the
+	// cache; a full-scale crawl's working set is ~2 variants × 45k
+	// sites spread over 64 shards).
+	analysisShardMax = 4096
+)
+
+type analysisShard struct {
+	mu sync.Mutex
+	m  map[uint64]*analysisEntry
+}
+
+// analysisEntry is one fingerprint's singleflight slot. a is written
+// exactly once, before done is closed; readers wait on done first, so
+// the channel's happens-before edge publishes a race-free.
+type analysisEntry struct {
+	done chan struct{}
+	a    core.Analysis
+}
+
+// get returns the memoized analysis for fp, computing it via compute
+// on first claim. compute runs on the claiming goroutine; concurrent
+// callers with the same fingerprint block until it finishes and share
+// the result.
+func (c *analysisCache) get(fp uint64, compute func() core.Analysis) core.Analysis {
+	s := &c.shards[fp%analysisShards]
+	s.mu.Lock()
+	if e, ok := s.m[fp]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.a
+	}
+	e := &analysisEntry{done: make(chan struct{})}
+	if s.m == nil || len(s.m) >= analysisShardMax {
+		s.m = make(map[uint64]*analysisEntry, 64)
+	}
+	s.m[fp] = e
+	s.mu.Unlock()
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		// compute panicked or ran runtime.Goexit (t.Fatal in a test
+		// helper): unpublish the entry so later visits recompute, and
+		// unblock anyone already waiting — they observe the zero
+		// Analysis in a process that is already failing, instead of
+		// deadlocking on a channel nobody will ever close.
+		s.mu.Lock()
+		if s.m[fp] == e {
+			delete(s.m, fp)
+		}
+		s.mu.Unlock()
+		close(e.done)
+	}()
+	e.a = compute()
+	completed = true
+	close(e.done)
+	return e.a
+}
+
+// analyses is the process-wide analysis memo shared by all crawlers;
+// Crawler.NoAnalysisCache bypasses it for debugging.
+var analyses analysisCache

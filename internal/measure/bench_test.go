@@ -1,0 +1,67 @@
+package measure
+
+import (
+	"testing"
+
+	"cookiewalk/internal/browser"
+	"cookiewalk/internal/core"
+	"cookiewalk/internal/synthweb"
+	"cookiewalk/internal/webfarm"
+)
+
+// BenchmarkAnalyzeMemo isolates the analysis memo itself on a real
+// composed cookiewall page:
+//
+//   - hit: steady-state lookup of an already-analyzed fingerprint —
+//     the cost the 2nd..8th vantage point pays instead of the pipeline;
+//   - miss: first-claim cost, i.e. the full analyzePage pipeline plus
+//     the singleflight bookkeeping (each iteration claims a fresh
+//     fingerprint).
+func BenchmarkAnalyzeMemo(b *testing.B) {
+	reg := synthweb.Generate(synthweb.Config{Seed: 42, FillerScale: 0.02})
+	farm := webfarm.New(reg)
+	var domain string
+	for _, s := range reg.CookiewallSites() {
+		if s.Reachable {
+			domain = s.Domain
+			break
+		}
+	}
+	if domain == "" {
+		b.Fatal("no reachable cookiewall site")
+	}
+	br := browser.New(farm.Transport(), germanyVP())
+	page, err := br.Open("https://" + domain + "/")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		var c analysisCache
+		c.get(page.Fingerprint, func() core.Analysis { return analyzePage(page) })
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := c.get(page.Fingerprint, func() core.Analysis {
+				b.Fatal("memo hit ran compute")
+				return core.Analysis{}
+			})
+			if a.Kind != core.KindCookiewall {
+				b.Fatal("wrong cached analysis")
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		var c analysisCache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Distinct fingerprint per iteration: every get is a first
+			// claim running the full pipeline.
+			a := c.get(uint64(i), func() core.Analysis { return analyzePage(page) })
+			if a.Kind != core.KindCookiewall {
+				b.Fatal("wrong analysis")
+			}
+		}
+	})
+}

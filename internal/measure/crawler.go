@@ -51,6 +51,12 @@ type Crawler struct {
 	// (visit/error counters per shard) from every crawl this crawler
 	// runs. Purely observational.
 	Progress func(campaign.Progress)
+	// NoAnalysisCache disables the content-fingerprint analysis memo:
+	// every visit re-runs parse/detect/classify even for page bodies
+	// already analyzed. Results are byte-identical either way — flip
+	// this on when debugging a detection change so every visit
+	// exercises the full pipeline.
+	NoAnalysisCache bool
 }
 
 // New returns a Crawler.
@@ -99,7 +105,11 @@ type Observation struct {
 	HasSub     bool
 
 	// MatchedWords/PriceCount/MonthlyEUR describe the §3 classification
-	// evidence.
+	// evidence. MatchedWords is FROZEN: it aliases the process-wide
+	// analysis memo (shared by every visit resolving to the same page
+	// content), so consumers must never mutate it in place — copy
+	// before sorting or appending (cookiewalk.SiteReport and the
+	// dataset export do exactly that).
 	MatchedWords []string
 	PriceCount   int
 	MonthlyEUR   float64
@@ -134,32 +144,78 @@ type VisitOpts struct {
 
 // Visit loads one site from one vantage point with a fresh profile and
 // analyzes its banner.
+//
+// The visit is split in two: a per-visit FETCH (transport dispatch,
+// cookies, vantage headers) and a VP-independent ANALYSIS (parse,
+// core.Detect, language detection, categorization) memoized by the
+// page's content fingerprint. On a memo hit — e.g. the second through
+// eighth vantage points of a landscape crawl loading an identical
+// render — the visit never parses the page at all; only the per-visit
+// Domain/VP fields are stamped onto the shared analysis.
 func (c *Crawler) Visit(vp vantage.VP, domain string, opts VisitOpts) Observation {
 	obs := Observation{Domain: domain, VP: vp.Name}
 	b := c.acquireBrowser(vp)
 	defer releaseBrowser(b)
 	b.Visit = opts.Visit
 	b.Blocker = opts.Blocker
-	page, err := b.Open("https://" + domain + "/")
+	fr, err := b.FetchTop("https://" + domain + "/")
 	if err != nil {
 		obs.Err = err.Error()
 		return obs
 	}
-	det := core.Detect(page.Doc)
-	obs.Kind = det.Kind
-	obs.Source = det.Source
-	obs.ShadowMode = string(det.ShadowMode)
-	obs.HasAccept = det.AcceptButton != nil
-	obs.HasReject = det.RejectButton != nil
-	obs.HasSub = det.SubscribeButton != nil
-	obs.MatchedWords = det.MatchedWords
-	obs.PriceCount = len(det.Prices)
-	obs.MonthlyEUR = det.MonthlyEUR
-	obs.AdblockPlea = page.AdblockPlea
-	obs.ScrollLocked = page.ScrollLocked
+	var a core.Analysis
+	if c.NoAnalysisCache {
+		a = analyzePage(b.Compose(fr))
+	} else {
+		a = analyses.get(fr.Fingerprint, func() core.Analysis {
+			return analyzePage(b.Compose(fr))
+		})
+	}
+	obs.setAnalysis(a)
+	return obs
+}
 
+// setAnalysis stamps the VP-independent analysis onto a per-visit
+// observation. The MatchedWords slice is shared with the cache entry
+// (frozen by analyzePage), never copied per visit.
+func (o *Observation) setAnalysis(a core.Analysis) {
+	o.Kind = a.Kind
+	o.Source = a.Source
+	o.ShadowMode = a.ShadowMode
+	o.HasAccept = a.HasAccept
+	o.HasReject = a.HasReject
+	o.HasSub = a.HasSub
+	o.MatchedWords = a.MatchedWords
+	o.PriceCount = a.PriceCount
+	o.MonthlyEUR = a.MonthlyEUR
+	o.Language = a.Language
+	o.Category = a.Category
+	o.AdblockPlea = a.AdblockPlea
+	o.ScrollLocked = a.ScrollLocked
+}
+
+// analyzePage runs the pure post-fetch pipeline — detection,
+// classification, language and category measurement — on a composed
+// page. It depends on page content only (never on the vantage point,
+// visit label or worker), the invariant that makes its result safe to
+// memoize by content fingerprint.
+func analyzePage(page *browser.Page) core.Analysis {
+	det := core.Detect(page.Doc)
+	a := core.Analysis{
+		Kind:         det.Kind,
+		Source:       det.Source,
+		ShadowMode:   string(det.ShadowMode),
+		HasAccept:    det.AcceptButton != nil,
+		HasReject:    det.RejectButton != nil,
+		HasSub:       det.SubscribeButton != nil,
+		MatchedWords: frozenWords(det.MatchedWords),
+		PriceCount:   len(det.Prices),
+		MonthlyEUR:   det.MonthlyEUR,
+		AdblockPlea:  page.AdblockPlea,
+		ScrollLocked: page.ScrollLocked,
+	}
 	if body := page.Doc.Body(); body != nil {
-		obs.Language = langdetect.Detect(body.Text()).Lang
+		a.Language = langdetect.Detect(body.Text()).Lang
 		// Categorize from the content area only: headers repeat the
 		// site name (which FortiGuard would not score) and banners
 		// carry consent vocabulary, both of which pollute keyword
@@ -168,9 +224,21 @@ func (c *Crawler) Visit(vp vantage.VP, domain string, opts VisitOpts) Observatio
 		if m := page.Doc.Query(mainSel); m != nil {
 			content = m
 		}
-		obs.Category = categorize.Classify(content.Text())
+		a.Category = categorize.Classify(content.Text())
 	}
-	return obs
+	return a
+}
+
+// frozenWords copies the matched words into an exact-capacity slice:
+// the analysis is shared across visits, so an append by any future
+// consumer must reallocate instead of scribbling on the cache entry.
+func frozenWords(ws []string) []string {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]string, len(ws))
+	copy(out, ws)
+	return out
 }
 
 // mainSel is compiled once: Visit runs it on every page of every crawl.
@@ -230,9 +298,17 @@ const (
 // interaction, and returns per-site average cookie tallies — the §4.3
 // methodology ("we repeat each measurement five times per website and
 // calculate the average number of cookies per website"). The returned
-// error is non-nil only when ctx is canceled mid-campaign.
+// error is non-nil only when ctx is canceled mid-campaign; the tallies
+// streamed before cancellation are returned with it.
+//
+// Like every other experiment path, this streams through campaign.Run:
+// the engine delivers each site's tally in input order the moment it
+// is ready, and the only materialization left is the caller-facing
+// result slice itself (Figures 4-6 genuinely need the full per-site
+// set for medians and correlations).
 func (c *Crawler) MeasureCookies(ctx context.Context, vp vantage.VP, domains []string, reps int, mode InteractionMode, smpToken string) ([]SiteCookies, error) {
-	out, _, err := campaign.Map(ctx, c.engine("cookies "+modeLabel(mode)), domains,
+	out := make([]SiteCookies, 0, len(domains))
+	_, err := campaign.Run(ctx, c.engine("cookies "+modeLabel(mode)), domains,
 		func(ctx context.Context, domain string) (SiteCookies, error) {
 			var sum CookieTally
 			ok := 0
@@ -257,6 +333,11 @@ func (c *Crawler) MeasureCookies(ctx context.Context, vp vantage.VP, domains []s
 				ThirdParty: sum.ThirdParty / n,
 				Tracking:   sum.Tracking / n,
 			}}, nil
+		},
+		func(r campaign.Result[SiteCookies]) {
+			// In-order streaming delivery: appending yields the
+			// positional layout (out[i] belongs to domains[i]).
+			out = append(out, r.Value)
 		})
 	return out, err
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"sync"
 
 	"cookiewalk/internal/campaign"
 	"cookiewalk/internal/core"
@@ -36,6 +37,35 @@ type VPResult struct {
 type Landscape struct {
 	Targets int
 	PerVP   []VPResult
+
+	// indexOnce guards the derived lookup structures below, built
+	// lazily on first use (and eagerly by Landscape crawls). Table1,
+	// Accuracy and Prevalence all resolve VPs and the detection union
+	// repeatedly; precomputing turns those per-call scans over every
+	// VP's Cookiewalls into map lookups. Populate PerVP fully before
+	// the first Result/UnionDetections call.
+	indexOnce sync.Once
+	byVP      map[string]int
+	union     []string
+}
+
+// buildIndex derives the VP index and the sorted distinct cookiewall
+// union exactly as the former per-call scans did.
+func (l *Landscape) buildIndex() {
+	l.byVP = make(map[string]int, len(l.PerVP))
+	seen := make(map[string]bool)
+	for i, r := range l.PerVP {
+		if _, dup := l.byVP[r.VP]; !dup {
+			l.byVP[r.VP] = i
+		}
+		for _, o := range r.Cookiewalls {
+			if !seen[o.Domain] {
+				seen[o.Domain] = true
+				l.union = append(l.union, o.Domain)
+			}
+		}
+	}
+	sort.Strings(l.union)
 }
 
 // Landscape crawls all targets from each vantage point, streaming every
@@ -85,20 +115,25 @@ func (c *Crawler) Landscape(ctx context.Context, vps []vantage.VP, targets []str
 			// Hand back the partial landscape alongside the error: the
 			// completed VPs and the canceled campaign's shard ledger are
 			// exactly what a caller wants to inspect after an abort.
+			l.indexOnce.Do(l.buildIndex)
 			return l, err
 		}
 	}
+	// Build the lookup index eagerly now that PerVP is complete; every
+	// downstream table and rate computation starts with Result or
+	// UnionDetections.
+	l.indexOnce.Do(l.buildIndex)
 	return l, nil
 }
 
 // Result returns the VPResult for a vantage point name.
 func (l *Landscape) Result(vpName string) (VPResult, bool) {
-	for _, r := range l.PerVP {
-		if r.VP == vpName {
-			return r, true
-		}
+	l.indexOnce.Do(l.buildIndex)
+	i, ok := l.byVP[vpName]
+	if !ok {
+		return VPResult{}, false
 	}
-	return VPResult{}, false
+	return l.PerVP[i], true
 }
 
 // Verified filters a VP's raw detections with the ground-truth audit
@@ -114,20 +149,13 @@ func (c *Crawler) Verified(obs []Observation) []Observation {
 }
 
 // UnionDetections returns the distinct domains classified as
-// cookiewalls from ANY vantage point (the paper's 285 candidates).
+// cookiewalls from ANY vantage point (the paper's 285 candidates),
+// sorted. The union is precomputed once per landscape; each call hands
+// back a fresh copy (a few hundred entries), preserving the
+// caller-owns-result contract.
 func (l *Landscape) UnionDetections() []string {
-	seen := map[string]bool{}
-	var out []string
-	for _, r := range l.PerVP {
-		for _, o := range r.Cookiewalls {
-			if !seen[o.Domain] {
-				seen[o.Domain] = true
-				out = append(out, o.Domain)
-			}
-		}
-	}
-	sort.Strings(out)
-	return out
+	l.indexOnce.Do(l.buildIndex)
+	return append([]string(nil), l.union...)
 }
 
 // Table1Row is one row of the paper's Table 1.

@@ -30,7 +30,7 @@ func BenchmarkRenderSitePage(b *testing.B) {
 		farm := New(testReg)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if farm.renderSitePage(sts[i%len(sts)]) == "" {
+			if farm.renderSitePage(sts[i%len(sts)]).body == "" {
 				b.Fatal("empty render")
 			}
 		}

@@ -70,6 +70,25 @@ func New(reg *synthweb.Registry) *Farm {
 // Registry returns the farm's backing registry.
 func (f *Farm) Registry() *synthweb.Registry { return f.reg }
 
+// bodyTagger is implemented by the in-process transport's recorder:
+// handlers that serve a memoized render attach its content fingerprint
+// so RoundTripBody can return it without rehashing the body. Writers
+// that do not implement it (httptest recorders, the real listener's
+// http.ResponseWriter) silently skip the tag — those clients derive
+// the identical fingerprint by hashing the bytes they read.
+type bodyTagger interface {
+	TagBody(fp uint64)
+}
+
+// writeRender writes a cached render and tags the writer with the
+// render's memoized content fingerprint when supported.
+func writeRender(w http.ResponseWriter, r render) {
+	io.WriteString(w, r.body)
+	if t, ok := w.(bodyTagger); ok {
+		t.TagBody(r.fp)
+	}
+}
+
 // KnownHost reports whether the farm serves the host at all, and
 // whether it is currently reachable. Unknown hosts and unreachable
 // sites produce transport-level errors, like DNS failures and timeouts
@@ -137,8 +156,12 @@ func (f *Farm) serveTracker(w http.ResponseWriter, r *http.Request, prefix strin
 	}
 	w.Header().Set("Content-Type", "image/gif")
 	w.Header().Set("Cache-Control", "no-store")
-	io.WriteString(w, "GIF89a")
+	writeRender(w, gifPixel)
 }
+
+// gifPixel is the constant tracker response with its fingerprint
+// computed once — trackers answer thousands of requests per campaign.
+var gifPixel = render{body: "GIF89a", fp: bodyHash("GIF89a")}
 
 // --- provider hosts ---------------------------------------------------------
 
@@ -155,10 +178,10 @@ func (f *Farm) serveProvider(w http.ResponseWriter, r *http.Request, providerNam
 		// The "script" response is the declarative banner fragment the
 		// emulated browser injects (substitution for JS execution).
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		io.WriteString(w, f.bannerFragment(site, site.Provider.Host))
+		writeRender(w, f.bannerFragment(site, site.Provider.Host))
 	case "/frame":
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		io.WriteString(w, f.bannerDocument(site))
+		writeRender(w, f.bannerDocument(site))
 	default:
 		http.NotFound(w, r)
 	}
@@ -218,7 +241,7 @@ func (f *Farm) serveSite(w http.ResponseWriter, r *http.Request, s *synthweb.Sit
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		io.WriteString(w, f.bannerDocument(s))
+		writeRender(w, f.bannerDocument(s))
 	case r.Method == http.MethodGet:
 		f.handlePage(w, r, s)
 	default:
@@ -283,7 +306,7 @@ func (f *Farm) handlePage(w http.ResponseWriter, r *http.Request, s *synthweb.Si
 	f.setFirstPartyCookies(w, st)
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	io.WriteString(w, f.renderSitePage(st))
+	writeRender(w, f.renderSitePage(st))
 }
 
 // fpCookieVals precomputes the full Set-Cookie values for the indexed

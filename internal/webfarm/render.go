@@ -59,8 +59,10 @@ func looksLikeBot(ua string) bool {
 // renderSitePage produces the full HTML document for a site visit,
 // memoized per (site, banner visibility, consent state, jitter label):
 // every request field the renderer reads is captured by that key, so
-// the cached string is byte-identical to a fresh render.
-func (f *Farm) renderSitePage(st pageState) string {
+// the cached string is byte-identical to a fresh render. The returned
+// entry carries the body's memoized content fingerprint for the
+// transport to hand to analysis-memoizing clients.
+func (f *Farm) renderSitePage(st pageState) render {
 	key := renderKey{domain: st.site.Domain, kind: kindPage}
 	if st.showBanner() {
 		key.flags |= flagBanner
@@ -79,9 +81,7 @@ func (f *Farm) renderSitePage(st pageState) string {
 	if page, ok := f.renders.get(key); ok {
 		return page
 	}
-	page := f.renderSitePageUncached(st)
-	f.renders.put(key, page)
-	return page
+	return f.renders.put(key, f.renderSitePageUncached(st))
 }
 
 func (f *Farm) renderSitePageUncached(st pageState) string {
@@ -185,7 +185,7 @@ func (f *Farm) writeBanner(b *strings.Builder, s *synthweb.Site) {
 		return
 	}
 	// Local (first-party) delivery.
-	b.WriteString(f.bannerFragment(s, ""))
+	b.WriteString(f.bannerFragment(s, "").body)
 	b.WriteString("\n")
 }
 
@@ -199,7 +199,7 @@ func providerScriptURL(s *synthweb.Site) string {
 // providerHost is non-empty for third-party delivery and controls
 // where iframe documents are served from; it is always either "" or
 // the site's own provider host, so the delivery kind fully keys it.
-func (f *Farm) bannerFragment(s *synthweb.Site, providerHost string) string {
+func (f *Farm) bannerFragment(s *synthweb.Site, providerHost string) render {
 	kind := kindFragmentLocal
 	if providerHost != "" {
 		kind = kindFragmentProvider
@@ -208,9 +208,7 @@ func (f *Farm) bannerFragment(s *synthweb.Site, providerHost string) string {
 	if frag, ok := f.renders.get(key); ok {
 		return frag
 	}
-	frag := f.bannerFragmentUncached(s, providerHost)
-	f.renders.put(key, frag)
-	return frag
+	return f.renders.put(key, f.bannerFragmentUncached(s, providerHost))
 }
 
 func (f *Farm) bannerFragmentUncached(s *synthweb.Site, providerHost string) string {
@@ -238,14 +236,12 @@ func (f *Farm) bannerFragmentUncached(s *synthweb.Site, providerHost string) str
 
 // bannerDocument renders the standalone HTML document served to banner
 // iframes, memoized per site.
-func (f *Farm) bannerDocument(s *synthweb.Site) string {
+func (f *Farm) bannerDocument(s *synthweb.Site) render {
 	key := renderKey{domain: s.Domain, kind: kindBannerDoc}
 	if doc, ok := f.renders.get(key); ok {
 		return doc
 	}
-	doc := f.bannerDocumentUncached(s)
-	f.renders.put(key, doc)
-	return doc
+	return f.renders.put(key, f.bannerDocumentUncached(s))
 }
 
 func (f *Farm) bannerDocumentUncached(s *synthweb.Site) string {

@@ -1,6 +1,10 @@
 package webfarm
 
-import "sync"
+import (
+	"sync"
+
+	"cookiewalk/internal/xrand"
+)
 
 // renderCache memoizes rendered documents. Page, banner-fragment and
 // banner-document renders are pure functions of a small key — the
@@ -10,6 +14,13 @@ import "sync"
 // vantage points re-renders each distinct page once instead of eight
 // times. The cache stores the exact rendered string, which makes
 // cached and uncached output byte-identical by construction.
+//
+// Each entry also carries the render's content fingerprint (a stable
+// hash of the body bytes), computed once when the entry is stored.
+// The transport hands that fingerprint to the emulated browser so the
+// analysis layer can memoize per distinct page without ever hashing a
+// cached body again; plain HTTP clients recompute the identical hash
+// from the bytes they read (see render.fp).
 //
 // The map is sharded to keep worker contention negligible and bounded
 // per shard: a shard that grows past renderShardMax entries is simply
@@ -29,8 +40,24 @@ const (
 
 type renderShard struct {
 	mu sync.RWMutex
-	m  map[renderKey]string
+	m  map[renderKey]render
 }
+
+// render is one cached rendered document.
+type render struct {
+	body string
+	// fp is bodyHash(body), memoized here so repeat requests for a
+	// cached render never rehash multi-kilobyte pages. It is a pure
+	// function of the bytes: any reader of the same body — including a
+	// real-listener HTTP client hashing what it downloaded — arrives at
+	// the same value.
+	fp uint64
+}
+
+// bodyHash is the canonical content hash shared by the render cache,
+// the transport's response tagging and (via the same xrand.Hash64)
+// the emulated browser's plain-RoundTripper fallback.
+func bodyHash(body string) uint64 { return xrand.Hash64(body) }
 
 // renderKind says which renderer produced an entry.
 type renderKind uint8
@@ -69,7 +96,7 @@ func (c *renderCache) shard(k renderKey) *renderShard {
 	return &c.shards[h%renderShards]
 }
 
-func (c *renderCache) get(k renderKey) (string, bool) {
+func (c *renderCache) get(k renderKey) (render, bool) {
 	s := c.shard(k)
 	s.mu.RLock()
 	v, ok := s.m[k]
@@ -77,14 +104,18 @@ func (c *renderCache) get(k renderKey) (string, bool) {
 	return v, ok
 }
 
-func (c *renderCache) put(k renderKey, v string) {
+// put stores a freshly rendered body and returns the entry with its
+// memoized content fingerprint.
+func (c *renderCache) put(k renderKey, body string) render {
+	v := render{body: body, fp: bodyHash(body)}
 	s := c.shard(k)
 	s.mu.Lock()
 	if s.m == nil || len(s.m) >= renderShardMax {
-		s.m = make(map[renderKey]string, 64)
+		s.m = make(map[renderKey]render, 64)
 	}
 	s.m[k] = v
 	s.mu.Unlock()
+	return v
 }
 
 // fnv32 is the FNV-1a hash, inlined to keep shard selection

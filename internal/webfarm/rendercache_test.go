@@ -70,24 +70,29 @@ func TestRenderCacheByteIdentical(t *testing.T) {
 			first := farm.renderSitePage(st)
 			second := farm.renderSitePage(st)
 			direct := farm.renderSitePageUncached(st)
-			if first != direct {
+			if first.body != direct {
 				t.Errorf("%s state %d: populating render != uncached render", s.Domain, i)
 			}
-			if second != direct {
+			if second.body != direct {
 				t.Errorf("%s state %d: cached render != uncached render", s.Domain, i)
+			}
+			// The memoized fingerprint must be exactly the content hash
+			// a plain HTTP reader would compute from the same bytes.
+			if first.fp != bodyHash(direct) || second.fp != first.fp {
+				t.Errorf("%s state %d: memoized fingerprint != bodyHash(render)", s.Domain, i)
 			}
 		}
 		if s.Banner == synthweb.BannerNone {
 			continue
 		}
-		if got, want := farm.bannerDocument(s), farm.bannerDocumentUncached(s); got != want {
+		if got, want := farm.bannerDocument(s), farm.bannerDocumentUncached(s); got.body != want || got.fp != bodyHash(want) {
 			t.Errorf("%s: cached banner document diverges", s.Domain)
 		}
 		host := ""
 		if s.Provider.Host != "" {
 			host = s.Provider.Host
 		}
-		if got, want := farm.bannerFragment(s, host), farm.bannerFragmentUncached(s, host); got != want {
+		if got, want := farm.bannerFragment(s, host), farm.bannerFragmentUncached(s, host); got.body != want || got.fp != bodyHash(want) {
 			t.Errorf("%s: cached banner fragment diverges", s.Domain)
 		}
 	}
@@ -123,10 +128,13 @@ func TestRenderCacheKeyCoversJitter(t *testing.T) {
 	}
 	vA := farm.renderSitePage(stA)
 	vB := farm.renderSitePage(stB)
-	if vA == vB {
+	if vA.body == vB.body {
 		t.Fatalf("%s: consent renders for distinct visit labels collide in the cache", site.Domain)
 	}
-	if vA != farm.renderSitePageUncached(stA) || vB != farm.renderSitePageUncached(stB) {
+	if vA.fp == vB.fp {
+		t.Fatalf("%s: distinct jittered renders share a fingerprint", site.Domain)
+	}
+	if vA.body != farm.renderSitePageUncached(stA) || vB.body != farm.renderSitePageUncached(stB) {
 		t.Fatalf("%s: cached jittered renders diverge from uncached", site.Domain)
 	}
 	// Pre-consent pages never embed jittered counts: any label must hit
@@ -169,7 +177,7 @@ func TestRenderCacheConcurrent(t *testing.T) {
 				for i, j := range jobs {
 					// Vary the order per worker so gets and puts interleave.
 					j = jobs[(i+w*7+rep)%len(jobs)]
-					if got := farm.renderSitePage(j.st); got != j.want {
+					if got := farm.renderSitePage(j.st); got.body != j.want || got.fp != bodyHash(j.want) {
 						select {
 						case errs <- fmt.Sprintf("worker %d: %s render diverged under concurrency", w, j.st.site.Domain):
 						default:
@@ -200,10 +208,10 @@ func TestRenderCacheBounded(t *testing.T) {
 			t.Fatalf("shard %d holds %d entries, bound is %d", i, n, renderShardMax)
 		}
 	}
-	// Entries written after a reset are still served.
+	// Entries written after a reset are still served, fingerprint intact.
 	k := renderKey{domain: "after-reset.example", kind: kindPage}
 	c.put(k, "page")
-	if v, ok := c.get(k); !ok || v != "page" {
+	if v, ok := c.get(k); !ok || v.body != "page" || v.fp != bodyHash("page") {
 		t.Fatal("cache lost an entry written after overflow reset")
 	}
 }

@@ -71,15 +71,22 @@ func (t *inProcessTransport) RoundTrip(req *http.Request) (*http.Response, error
 
 // RoundTripBody is the allocation-lean dispatch path: the response body
 // comes back as a string with no recorder, reader or double copy in
-// between. It matches the structural interface the emulated browser
-// probes for.
-func (t *inProcessTransport) RoundTripBody(req *http.Request) (status int, header http.Header, body string, err error) {
+// between, plus the body's stable content fingerprint when the handler
+// served a cached render (the render cache's memoized hash, tagged with
+// zero per-request hashing). Untagged responses — portal pages,
+// redirects, errors — return fp 0 and the caller hashes the bytes
+// lazily if it ever needs the token; the resulting value equals
+// bodyHash(body) either way, which is exactly what a plain-HTTP client
+// computes from the bytes it reads — so analysis memoization keys agree
+// across deployment modes. It matches the structural interface the
+// emulated browser probes for.
+func (t *inProcessTransport) RoundTripBody(req *http.Request) (status int, header http.Header, body string, fp uint64, err error) {
 	if err := t.resolve(req); err != nil {
-		return 0, nil, "", err
+		return 0, nil, "", 0, err
 	}
 	var rec fastRecorder
 	t.farm.ServeHTTP(&rec, req)
-	return rec.status(), rec.header, rec.body(), nil
+	return rec.status(), rec.header, rec.body(), rec.tag, nil
 }
 
 // fastRecorder is a minimal http.ResponseWriter that captures status,
@@ -91,7 +98,16 @@ type fastRecorder struct {
 	code   int
 	str    string // body when captured from a single WriteString
 	buf    []byte // accumulation fallback
+	// tag is the body's memoized content fingerprint, set via TagBody
+	// by handlers serving cached renders. Any write after the tag
+	// invalidates it: the tag must describe the complete body.
+	tag uint64
 }
+
+// TagBody implements the farm's bodyTagger: fp is the memoized
+// bodyHash of everything written so far (in practice: the single
+// cached render the handler just wrote).
+func (r *fastRecorder) TagBody(fp uint64) { r.tag = fp }
 
 // Header implements http.ResponseWriter.
 func (r *fastRecorder) Header() http.Header {
@@ -112,6 +128,7 @@ func (r *fastRecorder) WriteHeader(code int) {
 // Write implements io.Writer.
 func (r *fastRecorder) Write(p []byte) (int, error) {
 	r.WriteHeader(http.StatusOK)
+	r.tag = 0
 	r.flattenStr()
 	r.buf = append(r.buf, p...)
 	return len(p), nil
@@ -121,6 +138,7 @@ func (r *fastRecorder) Write(p []byte) (int, error) {
 // response is retained as-is, with no copy.
 func (r *fastRecorder) WriteString(s string) (int, error) {
 	r.WriteHeader(http.StatusOK)
+	r.tag = 0
 	if r.str == "" && r.buf == nil {
 		r.str = s
 		return len(s), nil

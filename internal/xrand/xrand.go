@@ -162,6 +162,14 @@ func Hash64(s string) uint64 {
 	return h
 }
 
+// Mix64 folds v into h with full 64-bit avalanche (the SplitMix64
+// finalizer). It is the building block for incremental fingerprints:
+// chains of Mix64 calls are order-sensitive and stable across
+// platforms and releases, like Hash64.
+func Mix64(h, v uint64) uint64 {
+	return mix(h ^ v)
+}
+
 // SubSeed derives a stable seed from a base seed and any number of
 // string labels. It is the canonical way to obtain per-entity
 // generators: SubSeed(seed, domain, "cookies", "rep3").
