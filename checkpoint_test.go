@@ -1,0 +1,239 @@
+package cookiewalk_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cookiewalk"
+	"cookiewalk/internal/campaign"
+	"cookiewalk/internal/vantage"
+	"cookiewalk/internal/xrand"
+)
+
+// interruptCrawl starts a checkpointed landscape crawl with cfg and
+// cancels it once the campaign labeled killLabel has delivered
+// killAfter visits — the in-process stand-in for an OOM kill or
+// preemption (the journal state it leaves behind is the same: a valid
+// record prefix, which the torn-tail tests in internal/campaign cover
+// at the byte level). It returns how many visits were delivered in
+// total before the crawl stopped.
+func interruptCrawl(t *testing.T, cfg cookiewalk.Config, killLabel string, killAfter int64) int {
+	t.Helper()
+	if cfg.CheckpointDir == "" || cfg.Resume {
+		t.Fatal("interruptCrawl wants a fresh checkpointed config")
+	}
+	study := cookiewalk.New(cfg)
+	c := study.Crawler()
+	c.ProgressEvery = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	delivered := 0
+	c.Progress = func(p campaign.Progress) {
+		delivered++
+		if p.Label == killLabel && p.Done >= killAfter {
+			cancel()
+		}
+	}
+	if _, err := c.Landscape(ctx, vantage.All(), study.Targets()); err == nil {
+		t.Fatalf("crawl was not interrupted (label %q, after %d)", killLabel, killAfter)
+	}
+	return delivered
+}
+
+// resumedReport builds a study that resumes from dir and renders one
+// experiment, returning the report and the landscape's replay count.
+func resumedReport(t *testing.T, cfg cookiewalk.Config, exp cookiewalk.Experiment) (string, int) {
+	t.Helper()
+	cfg.Resume = true
+	study := cookiewalk.New(cfg)
+	got, err := study.Report(exp)
+	if err != nil {
+		t.Fatalf("resumed report: %v", err)
+	}
+	replayed := 0
+	for _, res := range study.CachedLandscape().PerVP {
+		replayed += res.Stats.Replayed
+	}
+	return got, replayed
+}
+
+// firstDiff fails the test at the first divergent line of two reports.
+func firstDiff(t *testing.T, label, got, want string) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("%s: output diverges at line %d:\n got: %q\nwant: %q", label, i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("%s: output length changed: got %d lines, want %d", label, len(gotLines), len(wantLines))
+}
+
+// TestResumeGoldenAfterKill is the tentpole acceptance test: a
+// checkpointed crawl killed at an arbitrary point and resumed produces
+// the COMPLETE experiment report byte-identical to the checked-in
+// golden snapshot of an uninterrupted run. Kill points cover a shard
+// boundary, a mid-shard record, the very first deliveries of the first
+// campaign, and a later vantage point's campaign (so fully journaled
+// VPs replay end to end while later ones crawl fresh).
+func TestResumeGoldenAfterKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full scale-0.02 experiment per kill point")
+	}
+	want, err := os.ReadFile("testdata/golden_all.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2}
+	n := int64(len(cookiewalk.New(base).Targets()))
+	const shards = 4
+	kills := []struct {
+		name  string
+		label string
+		after int64
+	}{
+		{"first-deliveries", "landscape US East", 2},
+		{"shard-boundary", "landscape US East", n / shards},
+		{"mid-shard", "landscape US East", n/shards + n/(2*shards)},
+		{"later-vp", "landscape Germany", n / 2},
+	}
+	for _, k := range kills {
+		t.Run(k.name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "ckpt")
+			cfg := base
+			cfg.CheckpointDir = dir
+			cfg.Shards = shards
+			cfg.Workers = 3
+			interruptCrawl(t, cfg, k.label, k.after)
+
+			// Resume under a DIFFERENT worker/shard geometry.
+			cfg.Workers = 2
+			cfg.Shards = 3
+			got, replayed := resumedReport(t, cfg, cookiewalk.ExpAll)
+			firstDiff(t, k.name, got, string(want))
+			if replayed == 0 {
+				t.Fatal("resume replayed nothing — the journal was ignored")
+			}
+		})
+	}
+}
+
+// TestResumeDeterminismRandomKill is the CI resume-determinism gate:
+// for pseudo-random kill points, vantage points and worker/shard
+// geometries derived from a seed, an interrupted-then-resumed study
+// reports byte-identically to an uninterrupted one. CI runs it under
+// -race once per seed (COOKIEWALK_RESUME_SEED=1|2|3); without the env
+// var all three seeds run. On failure the checkpoint directory and the
+// got/want reports are copied to COOKIEWALK_RESUME_ARTIFACTS (when
+// set) for the workflow to upload.
+func TestResumeDeterminismRandomKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crawls the scale-0.01 universe several times")
+	}
+	seeds := []uint64{1, 2, 3}
+	if env := os.Getenv("COOKIEWALK_RESUME_SEED"); env != "" {
+		var s uint64
+		if _, err := fmt.Sscanf(env, "%d", &s); err != nil {
+			t.Fatalf("COOKIEWALK_RESUME_SEED=%q: %v", env, err)
+		}
+		seeds = []uint64{s}
+	}
+
+	base := cookiewalk.Config{Seed: 42, Scale: 0.01, Reps: 1}
+	// One uninterrupted reference serves every seed: the report depends
+	// only on the universe config, never on scheduling or kill points.
+	reference, err := cookiewalk.New(base).Report(cookiewalk.ExpAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := int64(len(cookiewalk.New(base).Targets()))
+	vps := cookiewalk.New(base).VantagePoints()
+
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := xrand.New(xrand.SubSeed(seed, "resume-determinism"))
+			killVP := vps[rng.Intn(len(vps))]
+			killAfter := int64(1 + rng.Intn(int(targets)))
+			dir := filepath.Join(t.TempDir(), "ckpt")
+
+			cfg := base
+			cfg.CheckpointDir = dir
+			cfg.Workers = 1 + rng.Intn(4)
+			cfg.Shards = 1 + rng.Intn(5)
+			interruptCrawl(t, cfg, "landscape "+killVP, killAfter)
+
+			cfg.Workers = 1 + rng.Intn(4)
+			cfg.Shards = 1 + rng.Intn(5)
+			got, replayed := resumedReport(t, cfg, cookiewalk.ExpAll)
+			if got != reference {
+				saveResumeArtifacts(t, seed, dir, got, reference)
+				firstDiff(t, fmt.Sprintf("seed %d (kill %s@%d)", seed, killVP, killAfter), got, reference)
+			}
+			if replayed == 0 {
+				t.Fatal("resume replayed nothing — the journal was ignored")
+			}
+			t.Logf("seed %d: killed %s after %d deliveries, replayed %d", seed, killVP, killAfter, replayed)
+		})
+	}
+}
+
+// saveResumeArtifacts copies the checkpoint dir and the diverging
+// reports somewhere a CI workflow can upload them.
+func saveResumeArtifacts(t *testing.T, seed uint64, checkpointDir, got, want string) {
+	t.Helper()
+	root := os.Getenv("COOKIEWALK_RESUME_ARTIFACTS")
+	if root == "" {
+		return
+	}
+	dst := filepath.Join(root, fmt.Sprintf("seed-%d", seed))
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Logf("artifacts: %v", err)
+		return
+	}
+	if err := os.CopyFS(filepath.Join(dst, "checkpoint"), os.DirFS(checkpointDir)); err != nil {
+		t.Logf("artifacts: copy checkpoint: %v", err)
+	}
+	_ = os.WriteFile(filepath.Join(dst, "got.txt"), []byte(got), 0o644)
+	_ = os.WriteFile(filepath.Join(dst, "want.txt"), []byte(want), 0o644)
+	t.Logf("resume failure artifacts saved to %s", dst)
+}
+
+// TestResumeFlagWithoutJournal: Resume over a never-written checkpoint
+// dir is simply a fresh (but journaled) crawl — the operator can pass
+// -resume unconditionally in a retry loop.
+func TestResumeFlagWithoutJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scale-0.01 crawl")
+	}
+	dir := filepath.Join(t.TempDir(), "never-written")
+	cfg := cookiewalk.Config{Seed: 42, Scale: 0.01, Reps: 1, CheckpointDir: dir, Resume: true}
+	study := cookiewalk.New(cfg)
+	got, err := study.Report(cookiewalk.ExpTable1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.01, Reps: 1}).Report(cookiewalk.ExpTable1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstDiff(t, "resume-without-journal", got, ref)
+	for _, res := range study.CachedLandscape().PerVP {
+		if res.Stats.Replayed != 0 {
+			t.Fatalf("replayed %d from a nonexistent journal", res.Stats.Replayed)
+		}
+	}
+	// And the crawl journaled while "resuming": a second resume now
+	// replays everything.
+	got2, replayed := resumedReport(t, cookiewalk.Config{Seed: 42, Scale: 0.01, Reps: 1, CheckpointDir: dir}, cookiewalk.ExpTable1)
+	firstDiff(t, "second-resume", got2, ref)
+	if replayed == 0 {
+		t.Fatal("second resume replayed nothing")
+	}
+}

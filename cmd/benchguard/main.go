@@ -1,0 +1,220 @@
+// Command benchguard is the CI bench-regression gate: it runs (or
+// reads) BenchmarkLandscapeCrawl and fails when allocs/op or B/op
+// regress by more than the threshold against the most recent
+// BENCH_PR<n>.json at the repo root.
+//
+// The gate compares ALLOCATION metrics only. Wall-clock (s/op) varies
+// with the CI machine and is printed purely for information; allocs/op
+// and B/op are deterministic for a deterministic workload, so a ratio
+// threshold on them catches real hot-path regressions without flaking
+// on noisy runners.
+//
+//	benchguard                 # run the benchmark, compare, exit 1 on regression
+//	benchguard -threshold 0.10 # stricter gate
+//	go test -bench ... | benchguard -input -   # compare pre-recorded output
+//
+// The baseline convention (see ROADMAP.md): every PR that touches the
+// crawl path records its BenchmarkLandscapeCrawl numbers in a
+// BENCH_PR<n>.json with a top-level "result" object holding
+// sec_per_op, bytes_per_op and allocs_per_op. benchguard picks the
+// file with the highest <n>.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchFile is the subset of BENCH_PR<n>.json benchguard consumes.
+type benchFile struct {
+	PR     int    `json:"pr"`
+	Bench  string `json:"benchmark"`
+	Result struct {
+		SecPerOp    float64 `json:"sec_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"result"`
+}
+
+func main() {
+	var (
+		dir       = flag.String("dir", ".", "repo root holding BENCH_PR*.json (and the package to benchmark)")
+		threshold = flag.Float64("threshold", 0.15, "maximum tolerated regression ratio for allocs/op and B/op (0.15 = +15%)")
+		input     = flag.String("input", "", "parse `go test -bench` output from this file ('-' = stdin) instead of running the benchmark")
+		bench     = flag.String("bench", "BenchmarkLandscapeCrawl", "benchmark to run and compare")
+		benchtime = flag.String("benchtime", "1x", "-benchtime passed to go test")
+	)
+	flag.Parse()
+
+	baselinePath, baseline, err := latestBaseline(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baseline: %s (PR %d): %.2f s/op, %.0f B/op, %.0f allocs/op\n",
+		filepath.Base(baselinePath), baseline.PR,
+		baseline.Result.SecPerOp, baseline.Result.BytesPerOp, baseline.Result.AllocsPerOp)
+
+	var output string
+	if *input != "" {
+		output, err = readInput(*input)
+	} else {
+		output, err = runBenchmark(*dir, *bench, *benchtime)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	sec, bytesOp, allocsOp, err := parseBenchOutput(output, *bench)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("current:  %s: %.2f s/op, %.0f B/op, %.0f allocs/op\n", *bench, sec, bytesOp, allocsOp)
+
+	failed := false
+	for _, m := range []struct {
+		name     string
+		current  float64
+		baseline float64
+	}{
+		{"allocs/op", allocsOp, baseline.Result.AllocsPerOp},
+		{"B/op", bytesOp, baseline.Result.BytesPerOp},
+	} {
+		if m.baseline <= 0 {
+			fmt.Printf("skip %s: baseline is %v\n", m.name, m.baseline)
+			continue
+		}
+		ratio := m.current / m.baseline
+		verdict := "ok"
+		if ratio > 1+*threshold {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-10s %12.0f -> %12.0f  (%+.1f%%, limit +%.0f%%)  %s\n",
+			m.name, m.baseline, m.current, (ratio-1)*100, *threshold*100, verdict)
+	}
+	if baseline.Result.SecPerOp > 0 {
+		fmt.Printf("%-10s %12.2f -> %12.2f  (informational only — wall clock is machine-dependent)\n",
+			"s/op", baseline.Result.SecPerOp, sec)
+	}
+	if failed {
+		fmt.Printf("benchguard: FAIL: allocation regression beyond +%.0f%% vs %s\n", *threshold*100, filepath.Base(baselinePath))
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
+
+// latestBaseline picks the BENCH_PR<n>.json with the highest n.
+var benchFileRe = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+func latestBaseline(dir string) (string, benchFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", benchFile{}, err
+	}
+	bestN := -1
+	bestPath := ""
+	for _, e := range entries {
+		m := benchFileRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		if n > bestN {
+			bestN = n
+			bestPath = filepath.Join(dir, e.Name())
+		}
+	}
+	if bestN < 0 {
+		return "", benchFile{}, fmt.Errorf("no BENCH_PR*.json baseline in %s", dir)
+	}
+	data, err := os.ReadFile(bestPath)
+	if err != nil {
+		return "", benchFile{}, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return "", benchFile{}, fmt.Errorf("parse %s: %w", bestPath, err)
+	}
+	if bf.Result.AllocsPerOp <= 0 && bf.Result.BytesPerOp <= 0 {
+		return "", benchFile{}, fmt.Errorf("%s has no usable result metrics", bestPath)
+	}
+	return bestPath, bf, nil
+}
+
+func readInput(path string) (string, error) {
+	if path == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	}
+	data, err := os.ReadFile(path)
+	return string(data), err
+}
+
+// runBenchmark shells out to go test for one benchmark iteration.
+func runBenchmark(dir, bench, benchtime string) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^"+bench+"$", "-benchtime", benchtime, ".")
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	fmt.Printf("running: %s\n", strings.Join(cmd.Args, " "))
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go test -bench: %w\n%s", err, out)
+	}
+	return string(out), nil
+}
+
+// parseBenchOutput extracts (sec/op, B/op, allocs/op) from go test
+// -bench output, e.g.:
+//
+//	BenchmarkLandscapeCrawl-8  1  2331148440 ns/op  751924624 B/op  7051896 allocs/op
+func parseBenchOutput(output, bench string) (sec, bytesOp, allocsOp float64, err error) {
+	for _, line := range strings.Split(output, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if name != bench && !strings.HasPrefix(name, bench+"-") {
+			continue
+		}
+		found := 0
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, perr := strconv.ParseFloat(fields[i], 64)
+			if perr != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				sec = v / 1e9
+				found++
+			case "B/op":
+				bytesOp = v
+				found++
+			case "allocs/op":
+				allocsOp = v
+				found++
+			}
+		}
+		if found >= 3 {
+			return sec, bytesOp, allocsOp, nil
+		}
+		return 0, 0, 0, fmt.Errorf("benchmark line lacks ns/op + B/op + allocs/op (need b.ReportAllocs or -benchmem): %q", line)
+	}
+	return 0, 0, 0, fmt.Errorf("no %s result in output", bench)
+}

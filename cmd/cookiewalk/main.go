@@ -8,6 +8,13 @@
 //	cookiewalk -list                    # list experiment ids
 //	cookiewalk -exp all -out EXPERIMENTS.md
 //
+//	# Crash-safe crawling: journal the landscape crawl, and after a
+//	# kill (OOM, preemption, ^C) resume it — replayed visits stream
+//	# from the journal, only the missing ones are crawled, and the
+//	# report is byte-identical to an uninterrupted run's.
+//	cookiewalk -exp all -checkpoint /tmp/ck -progress
+//	cookiewalk -exp all -checkpoint /tmp/ck -resume -progress
+//
 // Scale 1 (default) reproduces the full 45 222-target universe; the
 // eight-VP crawl then takes tens of seconds. Smaller scales keep every
 // cookiewall-related number identical and shrink only the filler web.
@@ -25,19 +32,26 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Uint64("seed", 42, "universe seed")
-		scale    = flag.Float64("scale", 1, "filler-web scale (1 = paper size)")
-		reps     = flag.Int("reps", 5, "repetitions for cookie measurements")
-		exp      = flag.String("exp", "all", "experiment id (see -list)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		out      = flag.String("out", "", "also write the report to this file")
-		jsonOut  = flag.String("json", "", "write the machine-readable dataset (JSON) to this file")
-		csvOut   = flag.String("csv", "", "write per-cookiewall records (CSV) to this file")
-		workers  = flag.Int("workers", 0, "per-shard worker pool size (0 = GOMAXPROCS)")
-		shards   = flag.Int("shards", 0, "campaign shard count (0 = derived from target count)")
-		progress = flag.Bool("progress", false, "stream campaign progress and per-shard error accounting to stderr")
+		seed       = flag.Uint64("seed", 42, "universe seed")
+		scale      = flag.Float64("scale", 1, "filler-web scale (1 = paper size)")
+		reps       = flag.Int("reps", 5, "repetitions for cookie measurements")
+		exp        = flag.String("exp", "all", "experiment id (see -list)")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		out        = flag.String("out", "", "also write the report to this file")
+		jsonOut    = flag.String("json", "", "write the machine-readable dataset (JSON) to this file")
+		csvOut     = flag.String("csv", "", "write per-cookiewall records (CSV) to this file")
+		workers    = flag.Int("workers", 0, "per-shard worker pool size (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 0, "campaign shard count (0 = derived from target count)")
+		progress   = flag.Bool("progress", false, "stream campaign progress and per-shard error accounting to stderr")
+		checkpoint = flag.String("checkpoint", "", "journal the landscape crawl into this directory (crash-safe; see -resume)")
+		resume     = flag.Bool("resume", false, "replay the journals under -checkpoint from a previous killed run and crawl only what is missing")
 	)
 	flag.Parse()
+
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "error: -resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range cookiewalk.Experiments() {
@@ -49,6 +63,7 @@ func main() {
 	cfg := cookiewalk.Config{
 		Seed: *seed, Scale: *scale, Reps: *reps,
 		Workers: *workers, Shards: *shards,
+		CheckpointDir: *checkpoint, Resume: *resume,
 	}
 	if *progress {
 		cfg.Progress = printProgress
@@ -87,17 +102,26 @@ func main() {
 }
 
 // printProgress is the -progress sink: a stderr status line per
-// campaign snapshot, terminated when the campaign completes.
+// campaign snapshot, terminated when the campaign completes. On a
+// resumed crawl it splits the visit counter into journal replays and
+// fresh visits, so the operator sees how much work the checkpoint
+// saved as it streams by.
 func printProgress(p cookiewalk.Progress) {
-	fmt.Fprintf(os.Stderr, "\r%-24s shard %d/%d  %d/%d visits  %d errors",
-		p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Errors)
+	if p.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "\r%-24s shard %d/%d  %d/%d visits (%d replayed + %d fresh)  %d errors",
+			p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Replayed, p.Done-p.Replayed, p.Errors)
+	} else {
+		fmt.Fprintf(os.Stderr, "\r%-24s shard %d/%d  %d/%d visits  %d errors",
+			p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Errors)
+	}
 	if p.Done >= p.Total {
 		fmt.Fprintln(os.Stderr)
 	}
 }
 
 // printShardAccounting dumps the per-shard visit/error counters of the
-// landscape campaign (when one ran) — the engine's failure ledger.
+// landscape campaign (when one ran) — the engine's failure ledger,
+// with replayed-vs-fresh splits for resumed crawls.
 func printShardAccounting(study *cookiewalk.Study) {
 	l := study.CachedLandscape()
 	if l == nil {
@@ -107,10 +131,19 @@ func printShardAccounting(study *cookiewalk.Study) {
 	for _, res := range l.PerVP {
 		fmt.Fprintf(os.Stderr, "  %-14s", res.VP)
 		for _, sh := range res.Stats.Shards {
-			fmt.Fprintf(os.Stderr, " [%d: %d/%d, %d err]",
-				sh.Shard, sh.Done, sh.Targets, sh.Errors)
+			if sh.Replayed > 0 {
+				fmt.Fprintf(os.Stderr, " [%d: %d/%d (%d replayed), %d err]",
+					sh.Shard, sh.Done, sh.Targets, sh.Replayed, sh.Errors)
+			} else {
+				fmt.Fprintf(os.Stderr, " [%d: %d/%d, %d err]",
+					sh.Shard, sh.Done, sh.Targets, sh.Errors)
+			}
 		}
 		fmt.Fprintln(os.Stderr)
+		if r := res.Stats.Replayed; r > 0 {
+			fmt.Fprintf(os.Stderr, "  %-14s resumed: %d replayed + %d fresh of %d\n",
+				"", r, res.Stats.Fresh(), res.Stats.Done)
+		}
 	}
 }
 

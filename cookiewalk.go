@@ -100,6 +100,18 @@ type Config struct {
 	// stale memo can never mask its effect. Purely a debug/verification
 	// knob — leave it off for throughput.
 	NoAnalysisCache bool
+	// CheckpointDir, when set, makes the landscape crawl crash-safe:
+	// every vantage point's campaign journals its completed visits to
+	// durable per-shard files under this directory, so a crawl killed
+	// by an OOM, a preemption or a power cut can continue instead of
+	// starting over. Journaling never changes results.
+	CheckpointDir string
+	// Resume, together with CheckpointDir, replays the journals a
+	// previous (killed) run left behind: journaled visits stream from
+	// disk, only the missing ones are crawled, and every report is
+	// byte-identical to an uninterrupted run's. An empty or absent
+	// checkpoint directory degrades to a fresh crawl.
+	Resume bool
 }
 
 // Progress is a point-in-time snapshot of a running crawl campaign.
@@ -110,6 +122,10 @@ type Progress struct {
 	Shard, Shards int
 	// Done/Total/Errors count visits across the whole campaign.
 	Done, Total, Errors int64
+	// Replayed counts deliveries served from a checkpoint journal
+	// instead of a fresh visit (always ≤ Done; nonzero only when
+	// resuming). Done - Replayed is the fresh-visit count.
+	Replayed int64
 }
 
 // Study owns a generated universe and its measurement machinery.
@@ -119,9 +135,10 @@ type Study struct {
 	farm    *webfarm.Farm
 	crawler *measure.Crawler
 
-	mu        sync.Mutex
-	landscape *measure.Landscape
-	fig4      *measure.Figure4
+	mu           sync.Mutex
+	landscape    *measure.Landscape
+	landscapeErr error
+	fig4         *measure.Figure4
 }
 
 // New generates the synthetic web and wires up the crawler.
@@ -138,11 +155,14 @@ func New(cfg Config) *Study {
 	crawler.Workers = cfg.Workers
 	crawler.Shards = cfg.Shards
 	crawler.NoAnalysisCache = cfg.NoAnalysisCache
+	crawler.CheckpointDir = cfg.CheckpointDir
+	crawler.Resume = cfg.Resume
 	if cfg.Progress != nil {
 		crawler.Progress = func(p campaign.Progress) {
 			cfg.Progress(Progress{
 				Label: p.Label, Shard: p.Shard, Shards: p.Shards,
 				Done: p.Done, Total: p.Total, Errors: p.Errors,
+				Replayed: p.Replayed,
 			})
 		}
 	}

@@ -55,10 +55,20 @@ func (s *Study) Landscape() *measure.Landscape {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.landscape == nil {
-		// The background context never cancels, so the error is nil.
-		s.landscape, _ = s.crawler.Landscape(context.Background(), vantage.All(), s.reg.TargetList())
+		// The background context never cancels; the error can still be
+		// non-nil for checkpointed crawls (journal setup or I/O failure).
+		// It is latched here and surfaced by Report — the landscape
+		// itself stays valid for inspection either way.
+		s.landscape, s.landscapeErr = s.crawler.Landscape(context.Background(), vantage.All(), s.reg.TargetList())
 	}
 	return s.landscape
+}
+
+// landscapeError returns the latched landscape-crawl error, if any.
+func (s *Study) landscapeError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.landscapeErr
 }
 
 // CachedLandscape returns the landscape campaign if one has already
@@ -95,8 +105,23 @@ func (s *Study) figure4() (measure.Figure4, error) {
 	return *s.fig4, nil
 }
 
-// Report runs an experiment and renders its artefact as text.
+// Report runs an experiment and renders its artefact as text. For
+// checkpointed studies a landscape journal failure fails the report:
+// the numbers would be fine, but the durability the caller asked for
+// is not, and silently continuing would let a later -resume replay a
+// broken journal.
 func (s *Study) Report(exp Experiment) (string, error) {
+	text, err := s.report(exp)
+	if err != nil {
+		return "", err
+	}
+	if lerr := s.landscapeError(); lerr != nil {
+		return "", fmt.Errorf("cookiewalk: landscape crawl: %w", lerr)
+	}
+	return text, nil
+}
+
+func (s *Study) report(exp Experiment) (string, error) {
 	switch exp {
 	case ExpTable1:
 		return report.Table1(s.crawler.Table1(s.Landscape())), nil

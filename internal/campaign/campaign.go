@@ -26,6 +26,8 @@ package campaign
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -53,6 +55,13 @@ type Config struct {
 	// ProgressEvery is the delivery interval between progress callbacks
 	// (default 1000).
 	ProgressEvery int
+	// Checkpoint, when set, journals every delivered result to durable
+	// per-shard files so a killed campaign can continue with Resume
+	// instead of starting over. Run starts a FRESH journal (wiping any
+	// leftover files in the directory); Resume replays one. See the
+	// Checkpoint type and journal.go for the format and crash-safety
+	// guarantees.
+	Checkpoint *Checkpoint
 }
 
 func (c Config) workers() int {
@@ -109,7 +118,14 @@ type Progress struct {
 	Done   int64 // visits delivered so far, across all shards
 	Total  int64
 	Errors int64
+	// Replayed counts deliveries served from a checkpoint journal
+	// (always ≤ Done; zero outside Resume). Done - Replayed is the
+	// fresh-visit count.
+	Replayed int64
 }
+
+// Fresh returns the deliveries that ran a real visit (Done - Replayed).
+func (p Progress) Fresh() int64 { return p.Done - p.Replayed }
 
 // Result carries one visit's outcome to the sink.
 type Result[R any] struct {
@@ -128,14 +144,23 @@ type Result[R any] struct {
 type ShardStats struct {
 	Shard   int
 	Targets int
-	// Done counts visits that ran (successes and errors alike).
+	// Done counts delivered results (successes and errors alike),
+	// replayed or fresh.
 	Done int
-	// Errors counts visits whose visit function returned an error.
+	// Errors counts deliveries whose visit returned an error (replayed
+	// errors included — a resumed run's ledger matches the
+	// uninterrupted one's).
 	Errors int
 	// Canceled counts targets never visited because the campaign was
 	// canceled first.
 	Canceled int
+	// Replayed counts deliveries served from the checkpoint journal
+	// instead of a fresh visit (always ≤ Done; zero outside Resume).
+	Replayed int
 }
+
+// Fresh returns the shard's fresh-visit count (Done - Replayed).
+func (s ShardStats) Fresh() int { return s.Done - s.Replayed }
 
 // Stats is the whole-campaign account, the sum of its shards.
 type Stats struct {
@@ -143,13 +168,20 @@ type Stats struct {
 	Done     int
 	Errors   int
 	Canceled int
+	// Replayed counts deliveries served from the checkpoint journal
+	// (see ShardStats.Replayed).
+	Replayed int
 	Shards   []ShardStats
 }
+
+// Fresh returns the campaign's fresh-visit count (Done - Replayed).
+func (s Stats) Fresh() int { return s.Done - s.Replayed }
 
 func (s *Stats) add(sh ShardStats) {
 	s.Done += sh.Done
 	s.Errors += sh.Errors
 	s.Canceled += sh.Canceled
+	s.Replayed += sh.Replayed
 	s.Shards = append(s.Shards, sh)
 }
 
@@ -157,13 +189,34 @@ func (s *Stats) add(sh ShardStats) {
 // strictly increasing Index order, from the calling goroutine — into
 // sink. It returns when every target is accounted for: visited, failed,
 // or canceled. The error is non-nil exactly when ctx was canceled
-// before the campaign finished; Stats is valid either way.
+// before the campaign finished, or — for checkpointed campaigns — when
+// the journal could not be set up or written (setup failures abort
+// before any visit; write failures let the campaign finish correctly
+// and are reported at the end, since only durability was lost). Stats
+// is valid either way.
 //
 // sink may be nil when only Stats are wanted. It needs no locking: the
 // engine never calls it concurrently.
 func Run[T, R any](ctx context.Context, cfg Config, targets []T,
 	visit func(context.Context, T) (R, error), sink func(Result[R])) (Stats, error) {
+	return run(ctx, cfg, targets, visit, sink, nil)
+}
 
+// run is the engine shared by Run and Resume. A nil replay map means a
+// fresh campaign; non-nil (possibly empty) means resume mode, where
+// journaled indices are replayed instead of visited.
+func run[T, R any](ctx context.Context, cfg Config, targets []T,
+	visit func(context.Context, T) (R, error), sink func(Result[R]),
+	replay map[int]journalRecord) (Stats, error) {
+
+	var ck *checkpointState
+	if cfg.Checkpoint != nil {
+		var err error
+		ck, err = prepareCheckpoint(cfg, len(targets), replay != nil)
+		if err != nil {
+			return Stats{}, err
+		}
+	}
 	nShards := cfg.shards(len(targets))
 	stats := Stats{Targets: len(targets)}
 	total := int64(len(targets))
@@ -176,12 +229,13 @@ func Run[T, R any](ctx context.Context, cfg Config, targets []T,
 			// skipped shard so the final snapshot reaches Shards/Shards.
 			stats.add(ShardStats{Shard: shard, Targets: hi - lo, Canceled: hi - lo})
 		} else {
-			stats.add(runShard(ctx, cfg, targets, visit, sink, shard, nShards, lo, hi, &stats, total))
+			stats.add(runShard(ctx, cfg, targets, visit, sink, shard, nShards, lo, hi, &stats, total, ck, replay))
 		}
 		if cfg.OnProgress != nil {
 			cfg.OnProgress(Progress{
 				Label: cfg.Label, Shard: shard + 1, Shards: nShards,
 				Done: int64(stats.Done), Total: total, Errors: int64(stats.Errors),
+				Replayed: int64(stats.Replayed),
 			})
 		}
 	}
@@ -190,22 +244,46 @@ func Run[T, R any](ctx context.Context, cfg Config, targets []T,
 			return stats, err
 		}
 	}
+	if ck != nil {
+		if err := ck.firstErr(); err != nil {
+			return stats, err
+		}
+	}
 	return stats, nil
 }
 
-// shardResult pairs a Result with the engine-internal cancellation
-// marker (canceled targets never reach the sink but must be accounted
-// and re-sequenced like everything else).
+// shardResult pairs a Result with the engine-internal markers:
+// canceled targets never reach the sink but must be accounted and
+// re-sequenced like everything else; replayed results came from the
+// journal (never re-journaled, counted separately); enc carries the
+// journal encoding of a fresh result, serialized on the worker so the
+// single-threaded delivery loop only writes bytes.
 type shardResult[R any] struct {
 	res      Result[R]
 	canceled bool
+	replayed bool
+	enc      []byte
+	encOK    bool
 }
 
 // runShard runs one contiguous target range [lo, hi) through a fresh
-// worker pool and delivers its results in order.
+// worker pool and delivers its results in order. With a checkpoint,
+// indices present in replay are decoded from the journal instead of
+// visited, and fresh results are journaled at delivery time — in index
+// order, so the journal is always a prefix-consistent log.
 func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 	visit func(context.Context, T) (R, error), sink func(Result[R]),
-	shard, nShards, lo, hi int, sofar *Stats, total int64) ShardStats {
+	shard, nShards, lo, hi int, sofar *Stats, total int64,
+	ck *checkpointState, replay map[int]journalRecord) ShardStats {
+
+	var jw *journalWriter
+	if ck != nil && !ck.dead.Load() {
+		var err error
+		if jw, err = openJournal(shardFile(ck.cp.Dir, shard), ck.cp.FlushEvery); err != nil {
+			ck.fail(err)
+			jw = nil
+		}
+	}
 
 	window := cfg.window()
 	workers := cfg.workers()
@@ -233,8 +311,35 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 					resCh <- shardResult[R]{res: r, canceled: true}
 					continue
 				}
+				if rec, ok := replay[i]; ok {
+					if v, err := ck.cp.Codec.Decode(rec.value); err == nil {
+						if val, ok := v.(R); ok {
+							r.Value = val
+							if rec.errStr != "" {
+								r.Err = errors.New(rec.errStr)
+							}
+							resCh <- shardResult[R]{res: r, replayed: true}
+							continue
+						}
+					}
+					// An undecodable record (codec change, bit rot that
+					// slipped past the checksum) is not fatal: fall through
+					// and re-visit the target fresh.
+				}
 				r.Value, r.Err = visit(ctx, targets[i])
-				resCh <- shardResult[R]{res: r}
+				sr := shardResult[R]{res: r}
+				if ck != nil && !ck.dead.Load() {
+					// Serialize on the worker so the single-threaded
+					// delivery loop below only appends bytes. Once
+					// journaling has failed, skip the (dropped-anyway)
+					// encoding work for the rest of the campaign.
+					if enc, err := ck.cp.Codec.Encode(r.Value); err == nil {
+						sr.enc, sr.encOK = enc, true
+					} else {
+						ck.fail(fmt.Errorf("encode index %d: %w", i, err))
+					}
+				}
+				resCh <- sr
 			}
 		}()
 	}
@@ -279,23 +384,50 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 				continue
 			}
 			sh.Done++
+			if q.replayed {
+				sh.Replayed++
+			}
 			if q.res.Err != nil {
 				sh.Errors++
 			}
 			if sink != nil {
 				sink(q.res)
 			}
+			if jw != nil && q.encOK {
+				// Journal AFTER the sink observed the result: a record on
+				// disk always describes a delivery that really happened.
+				if err := jw.append(q.res.Index, errString(q.res.Err), q.enc); err != nil {
+					ck.fail(err)
+					jw.close()
+					jw = nil
+				}
+			}
 			if cfg.OnProgress != nil && (sh.Done+sh.Canceled)%progressEvery == 0 {
 				cfg.OnProgress(Progress{
 					Label: cfg.Label, Shard: shard + 1, Shards: nShards,
-					Done:   int64(sofar.Done + sh.Done),
-					Total:  total,
-					Errors: int64(sofar.Errors + sh.Errors),
+					Done:     int64(sofar.Done + sh.Done),
+					Total:    total,
+					Errors:   int64(sofar.Errors + sh.Errors),
+					Replayed: int64(sofar.Replayed + sh.Replayed),
 				})
 			}
+		}
+	}
+	if jw != nil {
+		// Shard complete (or canceled): make its journal durable.
+		if err := jw.close(); err != nil {
+			ck.fail(err)
 		}
 	}
 	// Dispatch stopped early on cancellation: the never-dispatched tail.
 	sh.Canceled += (hi - lo) - sh.Done - sh.Canceled
 	return sh
+}
+
+// errString renders a visit error for the journal ("" for success).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }

@@ -1,0 +1,290 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The journal is the campaign engine's durable record of delivered
+// results: one append-only file per shard, written in delivery order
+// (strictly increasing target index), so a crash at ANY byte leaves a
+// prefix-consistent log — every fully framed record describes a result
+// that the sink really observed, and at most the torn tail record is
+// lost (its target simply re-runs on resume).
+//
+// File layout:
+//
+//	file   := magic record*
+//	magic  := "cwjl1\n"
+//	record := uvarint(len(payload)) u64le(checksum) payload
+//	payload:= uvarint(index) uvarint(len(err)) err value
+//
+// The checksum is FNV-1a over the payload bytes (the same function as
+// xrand.Hash64, which never changes between releases); value is the
+// caller codec's encoding of the result, opaque to the journal. A
+// record whose length prefix overruns the file, whose checksum
+// mismatches, or whose payload is malformed invalidates the file FROM
+// THAT OFFSET ON: loading stops there, and a writer reopening the file
+// truncates the invalid tail before appending — torn writes can never
+// poison a journal, they only shrink it.
+
+// journalMagic identifies (and versions) journal files.
+const journalMagic = "cwjl1\n"
+
+// maxJournalRecord bounds a single record's payload. It exists purely
+// to reject absurd length prefixes when scanning a corrupted file, not
+// to limit real results (64 MiB dwarfs any serialized observation).
+const maxJournalRecord = 64 << 20
+
+// journalRecord is one replayable result loaded from a journal.
+type journalRecord struct {
+	// errStr is the visit error's message ("" for success); the value
+	// bytes are the codec's encoding of the result value.
+	errStr string
+	value  []byte
+}
+
+// hashPayload is FNV-1a over bytes — bit-identical to xrand.Hash64 on
+// the equivalent string, without the string conversion.
+func hashPayload(p []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// appendUvarint / appendString build payloads.
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// shardFile names shard s's journal inside a checkpoint dir. Loading
+// never relies on the name — records are self-describing — so resumes
+// with a different shard count interoperate with existing files.
+func shardFile(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.cwj", shard))
+}
+
+// journalWriter appends framed records to one shard's journal file,
+// buffered, flushing every flushEvery records and syncing on close.
+type journalWriter struct {
+	f     *os.File
+	w     *bufio.Writer
+	buf   []byte // frame scratch, reused across appends
+	every int
+	since int
+}
+
+// openJournal opens (or creates) a shard journal for appending. An
+// existing file is scanned first and truncated to its last valid
+// record, so appends always extend a consistent prefix.
+func openJournal(path string, flushEvery int) (*journalWriter, error) {
+	if flushEvery <= 0 {
+		flushEvery = defaultFlushEvery
+	}
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		w := bufio.NewWriter(f)
+		if _, err := w.WriteString(journalMagic); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &journalWriter{f: f, w: w, every: flushEvery}, nil
+	case err != nil:
+		return nil, err
+	}
+	_, valid := scanJournal(data, nil)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	jw := &journalWriter{f: f, w: bufio.NewWriter(f), every: flushEvery}
+	if valid == 0 {
+		// The file existed but even the magic was torn: rewrite it.
+		if _, err := jw.w.WriteString(journalMagic); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return jw, nil
+}
+
+// append frames and buffers one record.
+func (jw *journalWriter) append(index int, errStr string, value []byte) error {
+	p := jw.buf[:0]
+	p = appendUvarint(p, uint64(index))
+	p = appendString(p, errStr)
+	p = append(p, value...)
+	jw.buf = p // keep the grown scratch for the next record
+
+	var frame [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(frame[:], uint64(len(p)))
+	if _, err := jw.w.Write(frame[:n]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(frame[:8], hashPayload(p))
+	if _, err := jw.w.Write(frame[:8]); err != nil {
+		return err
+	}
+	if _, err := jw.w.Write(p); err != nil {
+		return err
+	}
+	jw.since++
+	if jw.since >= jw.every {
+		jw.since = 0
+		return jw.w.Flush()
+	}
+	return nil
+}
+
+// close flushes, syncs and closes the journal. Called at shard end, it
+// makes the shard's whole record sequence durable.
+func (jw *journalWriter) close() error {
+	err := jw.w.Flush()
+	if serr := jw.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := jw.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// scanJournal parses one journal's bytes, calling emit for every valid
+// record, and returns the record count and the byte offset of the end
+// of the last valid record (the truncation point for writers). Parsing
+// stops at the first invalid frame — a torn length prefix, an
+// overrunning length, a checksum mismatch or a malformed payload — so
+// only a prefix-consistent slice of the file is ever trusted.
+func scanJournal(data []byte, emit func(index int, rec journalRecord)) (records, valid int) {
+	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != journalMagic {
+		return 0, 0
+	}
+	off := len(journalMagic)
+	for off < len(data) {
+		plen, n := binary.Uvarint(data[off:])
+		if n <= 0 || plen > maxJournalRecord {
+			return records, off
+		}
+		rest := data[off+n:]
+		if uint64(len(rest)) < 8+plen {
+			return records, off
+		}
+		sum := binary.LittleEndian.Uint64(rest[:8])
+		payload := rest[8 : 8+plen]
+		if hashPayload(payload) != sum {
+			return records, off
+		}
+		index, errStr, value, ok := parsePayload(payload)
+		if !ok {
+			return records, off
+		}
+		if emit != nil {
+			emit(index, journalRecord{errStr: errStr, value: value})
+		}
+		records++
+		off += n + 8 + int(plen)
+		valid = off
+	}
+	return records, valid
+}
+
+// parsePayload splits a record payload into (index, errStr, value).
+func parsePayload(p []byte) (index int, errStr string, value []byte, ok bool) {
+	idx, n := binary.Uvarint(p)
+	if n <= 0 || idx > 1<<62 {
+		return 0, "", nil, false
+	}
+	p = p[n:]
+	elen, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < elen {
+		return 0, "", nil, false
+	}
+	errStr = string(p[n : n+int(elen)])
+	value = p[n+int(elen):]
+	return int(idx), errStr, value, true
+}
+
+// loadJournals reads every journal file in dir and returns the union
+// of their valid records keyed by target index. Records are
+// self-describing, so the map is correct even when the files were
+// written under a different shard layout than the resuming run's.
+func loadJournals(dir string) (map[int]journalRecord, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[int]journalRecord{}, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".cwj") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	replay := make(map[int]journalRecord)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		scanJournal(data, func(index int, rec journalRecord) {
+			replay[index] = rec
+		})
+	}
+	return replay, nil
+}
+
+// removeJournals deletes every journal file (and manifest) in dir —
+// the fresh-start path of a checkpointed Run.
+func removeJournals(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".cwj") || e.Name() == manifestName {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -93,6 +93,34 @@ func (c *analysisCache) get(fp uint64, compute func() core.Analysis) core.Analys
 	return e.a
 }
 
+// seededDone is the pre-closed channel shared by every seeded entry:
+// a seed is complete the moment it is published, so readers never
+// block on it.
+var seededDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// seed publishes an already-computed analysis for fp — the
+// checkpoint-resume path, where a replayed observation carries the
+// analysis its original visit computed. An existing entry (computed or
+// in flight) always wins: seeding never replaces live results, it only
+// fills holes, so a seeded cache behaves exactly like one warmed by
+// real visits.
+func (c *analysisCache) seed(fp uint64, a core.Analysis) {
+	s := &c.shards[fp%analysisShards]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[fp]; ok {
+		return
+	}
+	if s.m == nil || len(s.m) >= analysisShardMax {
+		s.m = make(map[uint64]*analysisEntry, 64)
+	}
+	s.m[fp] = &analysisEntry{done: seededDone, a: a}
+}
+
 // analyses is the process-wide analysis memo shared by all crawlers;
 // Crawler.NoAnalysisCache bypasses it for debugging.
 var analyses analysisCache

@@ -51,12 +51,26 @@ type Crawler struct {
 	// (visit/error counters per shard) from every crawl this crawler
 	// runs. Purely observational.
 	Progress func(campaign.Progress)
+	// ProgressEvery overrides the delivery interval between Progress
+	// callbacks (default: the engine's, 1000). Purely observational.
+	ProgressEvery int
 	// NoAnalysisCache disables the content-fingerprint analysis memo:
 	// every visit re-runs parse/detect/classify even for page bodies
 	// already analyzed. Results are byte-identical either way — flip
 	// this on when debugging a detection change so every visit
 	// exercises the full pipeline.
 	NoAnalysisCache bool
+	// CheckpointDir, when set, makes the landscape crawl crash-safe:
+	// each vantage point's campaign journals its delivered observations
+	// into CheckpointDir/landscape-<vp>/ (see campaign.Checkpoint). A
+	// fresh Landscape call starts fresh journals; with Resume set it
+	// replays them instead, re-crawling only what is missing. Results
+	// are byte-identical either way.
+	CheckpointDir string
+	// Resume makes Landscape replay the journals under CheckpointDir
+	// (no-op when CheckpointDir is empty; an empty/missing journal
+	// degrades to a fresh crawl).
+	Resume bool
 }
 
 // New returns a Crawler.
@@ -67,10 +81,11 @@ func New(reg *synthweb.Registry, transport http.RoundTripper) *Crawler {
 // engine assembles the campaign configuration for one crawl.
 func (c *Crawler) engine(label string) campaign.Config {
 	return campaign.Config{
-		Label:      label,
-		Workers:    c.Workers,
-		Shards:     c.Shards,
-		OnProgress: c.Progress,
+		Label:         label,
+		Workers:       c.Workers,
+		Shards:        c.Shards,
+		OnProgress:    c.Progress,
+		ProgressEvery: c.ProgressEvery,
 	}
 }
 
@@ -96,6 +111,14 @@ type Observation struct {
 	VP     string
 	// Err is the transport error for unreachable/unknown hosts.
 	Err string
+
+	// Fingerprint is the visited page's content token
+	// (browser.Page.Fingerprint; zero for failed fetches). It keys the
+	// process-wide analysis memo, and the checkpoint codec persists it
+	// so a resumed campaign re-seeds the memo from replayed
+	// observations — fresh visits after a resume hit the memo exactly
+	// as they would have in the uninterrupted run.
+	Fingerprint uint64
 
 	Kind       core.Kind
 	Source     core.Source
@@ -163,6 +186,7 @@ func (c *Crawler) Visit(vp vantage.VP, domain string, opts VisitOpts) Observatio
 		obs.Err = err.Error()
 		return obs
 	}
+	obs.Fingerprint = fr.Fingerprint
 	var a core.Analysis
 	if c.NoAnalysisCache {
 		a = analyzePage(b.Compose(fr))

@@ -3,7 +3,9 @@ package measure
 import (
 	"context"
 	"errors"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"cookiewalk/internal/campaign"
@@ -12,6 +14,12 @@ import (
 	"cookiewalk/internal/vantage"
 	"cookiewalk/internal/xrand"
 )
+
+// pathLabel renders a vantage-point name as a filesystem-safe
+// checkpoint subdirectory component ("US East" → "us-east").
+func pathLabel(name string) string {
+	return strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+}
 
 // VPResult aggregates one vantage point's crawl over the target list.
 type VPResult struct {
@@ -71,14 +79,37 @@ func (l *Landscape) buildIndex() {
 // Landscape crawls all targets from each vantage point, streaming every
 // observation into the per-VP tallies as it arrives — no full
 // observation list is ever materialized. The error is non-nil only when
-// ctx is canceled mid-campaign; the partial landscape crawled so far
-// (completed VPs plus the canceled VP's ledger) is returned with it.
+// ctx is canceled mid-campaign (or, for checkpointed crawls, on a
+// journal failure); the partial landscape crawled so far (completed VPs
+// plus the canceled VP's ledger) is returned with it.
+//
+// With Crawler.CheckpointDir set, each vantage point's campaign
+// journals its observations durably; with Crawler.Resume additionally
+// set, journals from a previous (killed) Landscape call replay instead
+// of re-crawling, and only the missing visits run — the resulting
+// Landscape is byte-identical to an uninterrupted crawl's.
 func (c *Crawler) Landscape(ctx context.Context, vps []vantage.VP, targets []string) (*Landscape, error) {
 	l := &Landscape{Targets: len(targets)}
+	var targetsHash uint64
+	if c.CheckpointDir != "" {
+		targetsHash = campaign.HashTargets(targets)
+	}
 	for _, vp := range vps {
 		vp := vp
 		res := VPResult{VP: vp.Name}
-		stats, err := campaign.Run(ctx, c.engine("landscape "+vp.Name), targets,
+		cfg := c.engine("landscape " + vp.Name)
+		run := campaign.Run[string, Observation]
+		if c.CheckpointDir != "" {
+			cfg.Checkpoint = &campaign.Checkpoint{
+				Dir:         filepath.Join(c.CheckpointDir, "landscape-"+pathLabel(vp.Name)),
+				Codec:       ObservationCodec{},
+				TargetsHash: targetsHash,
+			}
+			if c.Resume {
+				run = campaign.Resume[string, Observation]
+			}
+		}
+		stats, err := run(ctx, cfg, targets,
 			func(_ context.Context, domain string) (Observation, error) {
 				o := c.Visit(vp, domain, VisitOpts{})
 				if o.Err != "" {

@@ -1,0 +1,204 @@
+package measure
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cookiewalk/internal/core"
+)
+
+// ObservationCodec serializes Observations for the campaign checkpoint
+// journal (campaign.Codec). The encoding is a compact, deterministic
+// binary layout — varint lengths, little-endian fixed words — that
+// round-trips every field exactly, so a resumed campaign's sink
+// observes byte-identical results.
+//
+// Decoding also re-seeds the process-wide analysis memo: a replayed
+// observation carries its page Fingerprint and its full VP-independent
+// analysis, so the fresh visits of a resumed crawl (the other vantage
+// points of a half-finished landscape) hit the memo exactly as they
+// would have in the uninterrupted run, instead of re-parsing pages the
+// journal already analyzed.
+type ObservationCodec struct{}
+
+// obsCodecVersion guards the layout; bump on any field change so stale
+// journals fall back to fresh visits instead of mis-decoding.
+const obsCodecVersion = 1
+
+// Encode implements campaign.Codec.
+func (ObservationCodec) Encode(v any) ([]byte, error) {
+	o, ok := v.(Observation)
+	if !ok {
+		return nil, fmt.Errorf("measure: ObservationCodec: unexpected type %T", v)
+	}
+	// Pre-size: strings plus ~6 bytes of framing each, plus fixed words.
+	n := 32 + len(o.Domain) + len(o.VP) + len(o.Err) + len(o.ShadowMode) + len(o.Language) + len(o.Category)
+	for _, w := range o.MatchedWords {
+		n += len(w) + 2
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, obsCodecVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, o.Fingerprint)
+	buf = appendStr(buf, o.Domain)
+	buf = appendStr(buf, o.VP)
+	buf = appendStr(buf, o.Err)
+	buf = binary.AppendUvarint(buf, uint64(o.Kind))
+	buf = binary.AppendUvarint(buf, uint64(o.Source))
+	buf = appendStr(buf, o.ShadowMode)
+	buf = append(buf, packFlags(o))
+	buf = binary.AppendUvarint(buf, uint64(len(o.MatchedWords)))
+	for _, w := range o.MatchedWords {
+		buf = appendStr(buf, w)
+	}
+	buf = binary.AppendUvarint(buf, uint64(o.PriceCount))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(o.MonthlyEUR))
+	buf = appendStr(buf, o.Language)
+	buf = appendStr(buf, o.Category)
+	return buf, nil
+}
+
+// Decode implements campaign.Codec.
+func (ObservationCodec) Decode(data []byte) (any, error) {
+	d := obsDecoder{data: data}
+	if v := d.byte(); v != obsCodecVersion {
+		return nil, fmt.Errorf("measure: ObservationCodec: version %d, want %d", v, obsCodecVersion)
+	}
+	var o Observation
+	o.Fingerprint = d.u64()
+	o.Domain = d.str()
+	o.VP = d.str()
+	o.Err = d.str()
+	o.Kind = core.Kind(d.uvarint())
+	o.Source = core.Source(d.uvarint())
+	o.ShadowMode = d.str()
+	unpackFlags(&o, d.byte())
+	if n := d.uvarint(); n > 0 {
+		if n > uint64(len(d.data)) {
+			return nil, fmt.Errorf("measure: ObservationCodec: %d matched words in %d bytes", n, len(d.data))
+		}
+		words := make([]string, n)
+		for i := range words {
+			words[i] = d.str()
+		}
+		o.MatchedWords = words
+	}
+	o.PriceCount = int(d.uvarint())
+	o.MonthlyEUR = math.Float64frombits(d.u64())
+	o.Language = d.str()
+	o.Category = d.str()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.data) != 0 {
+		return nil, fmt.Errorf("measure: ObservationCodec: %d trailing bytes", len(d.data))
+	}
+	// Re-seed the analysis memo from the replayed observation, so the
+	// resumed campaign's FRESH visits reuse it (the whole point of
+	// journaling the fingerprint alongside the analysis).
+	if o.Err == "" && o.Fingerprint != 0 {
+		analyses.seed(o.Fingerprint, analysisOf(o))
+	}
+	return o, nil
+}
+
+// packFlags folds the observation's booleans into one byte.
+func packFlags(o Observation) byte {
+	var f byte
+	for i, b := range []bool{o.HasAccept, o.HasReject, o.HasSub, o.AdblockPlea, o.ScrollLocked} {
+		if b {
+			f |= 1 << i
+		}
+	}
+	return f
+}
+
+func unpackFlags(o *Observation, f byte) {
+	o.HasAccept = f&1 != 0
+	o.HasReject = f&2 != 0
+	o.HasSub = f&4 != 0
+	o.AdblockPlea = f&8 != 0
+	o.ScrollLocked = f&16 != 0
+}
+
+// analysisOf reconstructs the VP-independent analysis from a decoded
+// observation — the exact inverse of Observation.setAnalysis. The
+// MatchedWords slice is the decoder's exact-capacity copy, safe to
+// share with the memo (nothing else aliases it).
+func analysisOf(o Observation) core.Analysis {
+	return core.Analysis{
+		Kind:         o.Kind,
+		Source:       o.Source,
+		ShadowMode:   o.ShadowMode,
+		HasAccept:    o.HasAccept,
+		HasReject:    o.HasReject,
+		HasSub:       o.HasSub,
+		MatchedWords: o.MatchedWords,
+		PriceCount:   o.PriceCount,
+		MonthlyEUR:   o.MonthlyEUR,
+		Language:     o.Language,
+		Category:     o.Category,
+		AdblockPlea:  o.AdblockPlea,
+		ScrollLocked: o.ScrollLocked,
+	}
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// obsDecoder is a cursor over an encoded observation; the first
+// malformed read latches err and zero-values every later read.
+type obsDecoder struct {
+	data []byte
+	err  error
+}
+
+func (d *obsDecoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("measure: ObservationCodec: truncated record")
+	}
+	d.data = nil
+}
+
+func (d *obsDecoder) byte() byte {
+	if len(d.data) < 1 {
+		d.fail()
+		return 0
+	}
+	b := d.data[0]
+	d.data = d.data[1:]
+	return b
+}
+
+func (d *obsDecoder) u64() uint64 {
+	if len(d.data) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.data)
+	d.data = d.data[8:]
+	return v
+}
+
+func (d *obsDecoder) uvarint() uint64 {
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+func (d *obsDecoder) str() string {
+	n := d.uvarint()
+	if n > uint64(len(d.data)) {
+		d.fail()
+		return ""
+	}
+	s := string(d.data[:n])
+	d.data = d.data[n:]
+	return s
+}

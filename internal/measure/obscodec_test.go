@@ -1,0 +1,245 @@
+package measure
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cookiewalk/internal/campaign"
+	"cookiewalk/internal/core"
+	"cookiewalk/internal/synthweb"
+	"cookiewalk/internal/vantage"
+	"cookiewalk/internal/webfarm"
+)
+
+func sampleObservation() Observation {
+	return Observation{
+		Domain:       "zeitung-a1.de",
+		VP:           "Germany",
+		Fingerprint:  0xdeadbeefcafe1234,
+		Kind:         core.KindCookiewall,
+		Source:       core.SourceIFrame,
+		ShadowMode:   "open",
+		HasAccept:    true,
+		HasSub:       true,
+		MatchedWords: []string{"abo", "werbefrei", "pur"},
+		PriceCount:   2,
+		MonthlyEUR:   3.99,
+		Language:     "de",
+		Category:     "news",
+		ScrollLocked: true,
+	}
+}
+
+// TestObservationCodecRoundTrip: every field survives exactly.
+func TestObservationCodecRoundTrip(t *testing.T) {
+	cases := []Observation{
+		sampleObservation(),
+		{},
+		{Domain: "down.example", VP: "US East", Err: "webfarm: no such host down.example"},
+		{Domain: "plain.se", VP: "Sweden", Fingerprint: 1, Kind: core.KindRegular, HasAccept: true, HasReject: true, Language: "sv", Category: "shopping"},
+	}
+	var codec ObservationCodec
+	for i, want := range cases {
+		enc, err := codec.Encode(want)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got, err := codec.Decode(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got.(Observation), want) {
+			t.Fatalf("case %d: round trip changed the observation\n got: %+v\nwant: %+v", i, got, want)
+		}
+	}
+	if _, err := codec.Encode("not an observation"); err == nil {
+		t.Fatal("encode accepted a non-Observation")
+	}
+}
+
+// TestObservationCodecRejectsCorrupt: truncations and version skew
+// decode to errors, never panics or silent misreads.
+func TestObservationCodecRejectsCorrupt(t *testing.T) {
+	var codec ObservationCodec
+	enc, err := codec.Encode(sampleObservation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := codec.Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", cut)
+		}
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = 99 // future version
+	if _, err := codec.Decode(bad); err == nil {
+		t.Fatal("decoded an unknown codec version")
+	}
+	if _, err := codec.Decode(append(append([]byte(nil), enc...), 0xff)); err == nil {
+		t.Fatal("decoded a record with trailing bytes")
+	}
+}
+
+// FuzzObservationCodec: arbitrary observations round-trip exactly, and
+// arbitrary bytes never panic the decoder.
+func FuzzObservationCodec(f *testing.F) {
+	var codec ObservationCodec
+	seedEnc, _ := codec.Encode(sampleObservation())
+	f.Add("a.de", "Germany", "", uint64(42), 2, "abo|pur", 3.99, "de", "news", byte(5))
+	f.Add("", "", "host down", uint64(0), 0, "", 0.0, "", "", byte(0))
+	f.Add(string(seedEnc), "x", "y", uint64(1), 1, "w", -1.5, "zz", "cat", byte(31))
+	f.Fuzz(func(t *testing.T, domain, vp, errStr string, fp uint64, kind int, words string, eur float64, lang, cat string, flags byte) {
+		var o Observation
+		o.Domain, o.VP, o.Err, o.Fingerprint = domain, vp, errStr, fp
+		o.Kind = core.Kind(kind & 3)
+		o.Source = core.Source(kind >> 2 & 3)
+		if words != "" {
+			o.MatchedWords = strings.Split(words, "|")
+		}
+		o.MonthlyEUR = eur
+		o.Language, o.Category = lang, cat
+		unpackFlags(&o, flags)
+		enc, err := codec.Encode(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := codec.Decode(enc)
+		if err != nil {
+			t.Fatalf("decode of valid encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(got.(Observation), o) {
+			t.Fatalf("round trip changed the observation\n got: %+v\nwant: %+v", got, o)
+		}
+		// The encoding itself, corrupted arbitrarily, must never panic.
+		for cut := 0; cut <= len(enc); cut += 7 {
+			_, _ = codec.Decode(enc[:cut])
+		}
+	})
+}
+
+// TestDecodeSeedsAnalysisMemo: decoding a successful observation
+// publishes its analysis so later visits with the same fingerprint are
+// memo hits.
+func TestDecodeSeedsAnalysisMemo(t *testing.T) {
+	o := sampleObservation()
+	o.Fingerprint = 0x5eed5eed5eed0001 // private to this test
+	var codec ObservationCodec
+	enc, err := codec.Encode(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := codec.Decode(enc); err != nil {
+		t.Fatal(err)
+	}
+	computed := false
+	a := analyses.get(o.Fingerprint, func() core.Analysis {
+		computed = true
+		return core.Analysis{}
+	})
+	if computed {
+		t.Fatal("memo miss after decode seeding")
+	}
+	if a.Kind != o.Kind || a.MonthlyEUR != o.MonthlyEUR || len(a.MatchedWords) != len(o.MatchedWords) {
+		t.Fatalf("seeded analysis = %+v", a)
+	}
+	// Seeding never overwrites: a live entry wins.
+	live := core.Analysis{Language: "live"}
+	analyses.seed(o.Fingerprint, live)
+	if got := analyses.get(o.Fingerprint, func() core.Analysis { return core.Analysis{} }); got.Language == "live" {
+		t.Fatal("seed replaced an existing entry")
+	}
+}
+
+// landscapeFixture builds a small crawler over a fresh universe.
+func landscapeFixture(t *testing.T, checkpointDir string) (*Crawler, []string) {
+	t.Helper()
+	reg := synthweb.Generate(synthweb.Config{Seed: 7, FillerScale: 0.01})
+	farm := webfarm.New(reg)
+	c := New(reg, farm.Transport())
+	c.Workers = 4
+	c.Shards = 3
+	c.CheckpointDir = checkpointDir
+	return c, reg.TargetList()
+}
+
+// landscapeKey renders the fields downstream tables consume, for
+// whole-landscape equality checks.
+func landscapeKey(l *Landscape) string {
+	var b strings.Builder
+	for _, res := range l.PerVP {
+		fmt.Fprintf(&b, "%s|%d,%d,%d,%d,%d,%d", res.VP,
+			res.Visited, res.Errors, res.NoBanner, res.Regular,
+			len(res.Cookiewalls), len(res.RegularAcceptDomains))
+		for _, o := range res.Cookiewalls {
+			fmt.Fprintf(&b, ";%s:%s:%s:%.4f:%s",
+				o.Domain, o.Language, o.Category, o.MonthlyEUR,
+				strings.Join(o.MatchedWords, "+"))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestLandscapeCheckpointResume kills a checkpointed landscape crawl
+// mid-campaign and resumes it with a different worker/shard setting:
+// the resumed landscape must equal the uninterrupted one field for
+// field, with a nonzero replay count in its engine stats.
+func TestLandscapeCheckpointResume(t *testing.T) {
+	cRef, targets := landscapeFixture(t, "")
+	vps := []vantage.VP{mustVP(t, "Germany"), mustVP(t, "Sweden")}
+	ref, err := cRef.Landscape(context.Background(), vps, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	c1, _ := landscapeFixture(t, dir)
+	c1.ProgressEvery = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	kill := len(targets)/2 + 3
+	c1.Progress = func(p campaign.Progress) {
+		if p.Label == "landscape Sweden" && p.Done >= int64(kill) {
+			cancel()
+		}
+	}
+	if _, err := c1.Landscape(ctx, vps, targets); err == nil {
+		t.Fatal("interrupted landscape returned nil error")
+	}
+	cancel()
+
+	c2, _ := landscapeFixture(t, dir)
+	c2.Resume = true
+	c2.Workers = 2
+	c2.Shards = 5
+	got, err := c2.Landscape(context.Background(), vps, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if landscapeKey(got) != landscapeKey(ref) {
+		t.Fatal("resumed landscape differs from uninterrupted crawl")
+	}
+	// Germany completed before the kill: fully replayed. Sweden was cut
+	// mid-campaign: partially replayed.
+	gotDE, _ := got.Result("Germany")
+	gotSE, _ := got.Result("Sweden")
+	if gotDE.Stats.Replayed != len(targets) || gotDE.Stats.Fresh() != 0 {
+		t.Fatalf("Germany stats = %+v", gotDE.Stats)
+	}
+	if gotSE.Stats.Replayed == 0 || gotSE.Stats.Fresh() == 0 {
+		t.Fatalf("Sweden stats replayed=%d fresh=%d, want both nonzero",
+			gotSE.Stats.Replayed, gotSE.Stats.Fresh())
+	}
+}
+
+func mustVP(t *testing.T, name string) vantage.VP {
+	t.Helper()
+	vp, ok := vantage.ByName(name)
+	if !ok {
+		t.Fatalf("unknown VP %s", name)
+	}
+	return vp
+}
