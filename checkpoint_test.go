@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"cookiewalk"
@@ -203,6 +204,70 @@ func saveResumeArtifacts(t *testing.T, seed uint64, checkpointDir, got, want str
 	_ = os.WriteFile(filepath.Join(dst, "got.txt"), []byte(got), 0o644)
 	_ = os.WriteFile(filepath.Join(dst, "want.txt"), []byte(want), 0o644)
 	t.Logf("resume failure artifacts saved to %s", dst)
+}
+
+// TestResumeNonLandscapeExperimentJournal is the PR-5 acceptance test:
+// checkpointing now covers EVERY constituent experiment campaign, not
+// just the landscape. A checkpointed ExpAll is killed mid-way through
+// the fig4 cookiewall campaign — i.e. AFTER the landscape and the fig4
+// regular campaign journaled completely — and resumed under a
+// DIFFERENT worker/shard geometry with the concurrent scheduler: the
+// resumed report must be byte-identical to the golden snapshot, the
+// killed campaign must replay its partial journal, and the fully
+// journaled campaigns must replay end to end.
+func TestResumeNonLandscapeExperimentJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full scale-0.02 experiment twice")
+	}
+	want, err := os.ReadFile("testdata/golden_all.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	cfg := cookiewalk.Config{
+		Seed: 42, Scale: 0.02, Reps: 2,
+		CheckpointDir: dir, Workers: 3, Shards: 4,
+	}
+	study := cookiewalk.New(cfg)
+	study.Crawler().ProgressEvery = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	study.Crawler().Progress = func(p campaign.Progress) {
+		if p.Label == "fig4 cookiewall" && p.Done >= 5 {
+			cancel()
+		}
+	}
+	if _, err := study.ReportContext(ctx, cookiewalk.ExpAll); err == nil {
+		t.Fatal("ExpAll was not interrupted")
+	}
+
+	// Resume with the concurrent scheduler and a different geometry.
+	replayed := map[string]int64{}
+	var mu sync.Mutex
+	resumeCfg := cookiewalk.Config{
+		Seed: 42, Scale: 0.02, Reps: 2,
+		CheckpointDir: dir, Resume: true,
+		Workers: 2, Shards: 3, ExperimentParallelism: 4,
+		Progress: func(p cookiewalk.Progress) {
+			mu.Lock()
+			if p.Replayed > replayed[p.Label] {
+				replayed[p.Label] = p.Replayed
+			}
+			mu.Unlock()
+		},
+	}
+	got, err := cookiewalk.New(resumeCfg).Report(cookiewalk.ExpAll)
+	if err != nil {
+		t.Fatalf("resumed report: %v", err)
+	}
+	firstDiff(t, "resumed ExpAll", got, string(want))
+	mu.Lock()
+	defer mu.Unlock()
+	for _, label := range []string{"landscape US East", "landscape Germany", "fig4 regular", "fig4 cookiewall"} {
+		if replayed[label] == 0 {
+			t.Errorf("campaign %q replayed nothing — its journal was ignored (replays: %v)", label, replayed)
+		}
+	}
 }
 
 // TestResumeFlagWithoutJournal: Resume over a never-written checkpoint

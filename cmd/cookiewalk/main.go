@@ -5,13 +5,20 @@
 //
 //	cookiewalk -exp all                 # every artefact (Table 1, Figures 1-6, ...)
 //	cookiewalk -exp table1 -scale 0.05  # one artefact on a reduced web
-//	cookiewalk -list                    # list experiment ids
+//	cookiewalk -exp table1,bypass,smp   # a subset, assembled in report order
+//	cookiewalk -list                    # experiment ids + their artefact dependencies
 //	cookiewalk -exp all -out EXPERIMENTS.md
 //
-//	# Crash-safe crawling: journal the landscape crawl, and after a
-//	# kill (OOM, preemption, ^C) resume it — replayed visits stream
-//	# from the journal, only the missing ones are crawled, and the
-//	# report is byte-identical to an uninterrupted run's.
+//	# Dependency-aware concurrent scheduling: run independent
+//	# experiment campaigns 4 at a time on one shared worker budget
+//	# (results are byte-identical to -j 1).
+//	cookiewalk -exp all -j 4 -progress
+//
+//	# Crash-safe crawling: journal EVERY experiment campaign, and
+//	# after a kill (OOM, preemption, ^C) resume the whole study —
+//	# journaled visits stream from disk, only the missing ones are
+//	# crawled, and the report is byte-identical to an uninterrupted
+//	# run's.
 //	cookiewalk -exp all -checkpoint /tmp/ck -progress
 //	cookiewalk -exp all -checkpoint /tmp/ck -resume -progress
 //
@@ -21,10 +28,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"cookiewalk"
@@ -35,15 +44,16 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "universe seed")
 		scale      = flag.Float64("scale", 1, "filler-web scale (1 = paper size)")
 		reps       = flag.Int("reps", 5, "repetitions for cookie measurements")
-		exp        = flag.String("exp", "all", "experiment id (see -list)")
-		list       = flag.Bool("list", false, "list experiment ids and exit")
+		exp        = flag.String("exp", "all", "comma-separated experiment ids (see -list)")
+		list       = flag.Bool("list", false, "list experiment ids with their artefact dependencies and exit")
 		out        = flag.String("out", "", "also write the report to this file")
 		jsonOut    = flag.String("json", "", "write the machine-readable dataset (JSON) to this file")
 		csvOut     = flag.String("csv", "", "write per-cookiewall records (CSV) to this file")
 		workers    = flag.Int("workers", 0, "per-shard worker pool size (0 = GOMAXPROCS)")
 		shards     = flag.Int("shards", 0, "campaign shard count (0 = derived from target count)")
+		jobs       = flag.Int("j", 1, "experiment-level parallelism: independent experiment campaigns running concurrently on one shared worker budget")
 		progress   = flag.Bool("progress", false, "stream campaign progress and per-shard error accounting to stderr")
-		checkpoint = flag.String("checkpoint", "", "journal the landscape crawl into this directory (crash-safe; see -resume)")
+		checkpoint = flag.String("checkpoint", "", "journal every experiment campaign into per-experiment subdirectories of this directory (crash-safe; see -resume)")
 		resume     = flag.Bool("resume", false, "replay the journals under -checkpoint from a previous killed run and crawl only what is missing")
 	)
 	flag.Parse()
@@ -55,18 +65,37 @@ func main() {
 
 	if *list {
 		for _, e := range cookiewalk.Experiments() {
-			fmt.Println(e)
+			deps := cookiewalk.Dependencies(e)
+			if len(deps) == 0 {
+				fmt.Printf("%-12s (no dependencies)\n", e)
+				continue
+			}
+			fmt.Printf("%-12s depends on: %s\n", e, strings.Join(deps, ", "))
 		}
 		return
+	}
+
+	exps, err := cookiewalk.ParseExperiments(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
 	}
 
 	cfg := cookiewalk.Config{
 		Seed: *seed, Scale: *scale, Reps: *reps,
 		Workers: *workers, Shards: *shards,
 		CheckpointDir: *checkpoint, Resume: *resume,
+		ExperimentParallelism: *jobs,
 	}
 	if *progress {
-		cfg.Progress = printProgress
+		if *jobs > 1 {
+			// Concurrent campaigns interleave their snapshots; a
+			// carriage-return status line would shred, so print one
+			// experiment-prefixed line per snapshot instead.
+			cfg.Progress = printProgressLines
+		} else {
+			cfg.Progress = printProgress
+		}
 	}
 
 	start := time.Now()
@@ -74,7 +103,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "universe ready: %d targets (%.1fs)\n",
 		len(study.Targets()), time.Since(start).Seconds())
 
-	text, err := study.Report(cookiewalk.Experiment(*exp))
+	text, err := study.ReportContext(context.Background(), exps...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
@@ -101,10 +130,10 @@ func main() {
 	}
 }
 
-// printProgress is the -progress sink: a stderr status line per
-// campaign snapshot, terminated when the campaign completes. On a
-// resumed crawl it splits the visit counter into journal replays and
-// fresh visits, so the operator sees how much work the checkpoint
+// printProgress is the serial (-j 1) -progress sink: a stderr status
+// line per campaign snapshot, terminated when the campaign completes.
+// On a resumed crawl it splits the visit counter into journal replays
+// and fresh visits, so the operator sees how much work the checkpoint
 // saved as it streams by.
 func printProgress(p cookiewalk.Progress) {
 	if p.Replayed > 0 {
@@ -117,6 +146,20 @@ func printProgress(p cookiewalk.Progress) {
 	if p.Done >= p.Total {
 		fmt.Fprintln(os.Stderr)
 	}
+}
+
+// printProgressLines is the concurrent (-j > 1) -progress sink:
+// snapshots from interleaved campaigns each get their own line,
+// multiplexed by the campaign label's experiment-name prefix
+// ("landscape Germany", "fig4 cookiewall", "bypass", ...).
+func printProgressLines(p cookiewalk.Progress) {
+	if p.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "%-24s shard %d/%d  %d/%d visits (%d replayed + %d fresh)  %d errors\n",
+			p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Replayed, p.Done-p.Replayed, p.Errors)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%-24s shard %d/%d  %d/%d visits  %d errors\n",
+		p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Errors)
 }
 
 // printShardAccounting dumps the per-shard visit/error counters of the

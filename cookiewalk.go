@@ -24,6 +24,15 @@
 // identical for a fixed seed regardless of Workers or Shards, and
 // long campaigns report progress and per-shard error counts as they go.
 //
+// Above the engine, the study layer schedules experiments as a
+// dependency DAG (see schedule.go): artefacts are memoized study-wide,
+// independent campaigns run concurrently up to
+// Config.ExperimentParallelism on one shared worker budget, campaigns
+// are cancellable via ReportContext, and with Config.CheckpointDir
+// every constituent campaign — not just the landscape — journals its
+// progress for crash-safe resumption. None of it changes results: the
+// assembled report is byte-identical for any parallelism level.
+//
 // Quickstart:
 //
 //	study := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2})
@@ -91,7 +100,9 @@ type Config struct {
 	Shards int
 	// Progress, when set, receives streaming campaign progress
 	// snapshots (shard, visit and error counters) from every crawl the
-	// study runs.
+	// study runs. With ExperimentParallelism > 1 concurrent campaigns
+	// invoke it from their own goroutines simultaneously — the handler
+	// must be safe for concurrent use (it is called serially otherwise).
 	Progress func(Progress)
 	// NoAnalysisCache disables the content-fingerprint memoization of
 	// page analysis (parse → detect → language → category), forcing
@@ -100,18 +111,31 @@ type Config struct {
 	// stale memo can never mask its effect. Purely a debug/verification
 	// knob — leave it off for throughput.
 	NoAnalysisCache bool
-	// CheckpointDir, when set, makes the landscape crawl crash-safe:
-	// every vantage point's campaign journals its completed visits to
-	// durable per-shard files under this directory, so a crawl killed
-	// by an OOM, a preemption or a power cut can continue instead of
-	// starting over. Journaling never changes results.
+	// CheckpointDir, when set, makes every experiment campaign
+	// crash-safe: each campaign — the landscape's eight vantage-point
+	// crawls AND every follow-up experiment (figure4/figure5 cookie
+	// measurements, bypass, ablation, autoreject, revocation,
+	// botcheck) — journals its completed visits to durable per-shard
+	// files under its own subdirectory of this directory, so a study
+	// killed by an OOM, a preemption or a power cut can continue
+	// instead of starting over. Journaling never changes results.
 	CheckpointDir string
 	// Resume, together with CheckpointDir, replays the journals a
 	// previous (killed) run left behind: journaled visits stream from
-	// disk, only the missing ones are crawled, and every report is
+	// disk, only the missing ones are crawled — across EVERY
+	// constituent experiment campaign — and every report is
 	// byte-identical to an uninterrupted run's. An empty or absent
-	// checkpoint directory degrades to a fresh crawl.
+	// checkpoint directory (or subdirectory) degrades to a fresh crawl.
 	Resume bool
+	// ExperimentParallelism bounds how many experiment DAG nodes (and
+	// therefore independent campaigns) run concurrently during
+	// Report/ReportContext (default 1: experiments run one after
+	// another, in dependency order). Values above 1 schedule
+	// independent campaigns concurrently on a shared worker budget of
+	// Workers visit slots, so total CPU pressure never exceeds a
+	// single campaign's. Purely a scheduling knob — the assembled
+	// report is byte-identical for any value.
+	ExperimentParallelism int
 }
 
 // Progress is a point-in-time snapshot of a running crawl campaign.
@@ -129,16 +153,22 @@ type Progress struct {
 }
 
 // Study owns a generated universe and its measurement machinery.
+// Artefacts — the landscape campaign, derived domain lists, follow-up
+// campaign results and rendered report sections — are memoized in the
+// study-wide DAG store (see schedule.go); each is computed at most
+// once per Study.
 type Study struct {
 	cfg     Config
 	reg     *synthweb.Registry
 	farm    *webfarm.Farm
 	crawler *measure.Crawler
 
-	mu           sync.Mutex
-	landscape    *measure.Landscape
-	landscapeErr error
-	fig4         *measure.Figure4
+	// sem bounds concurrently RUNNING experiment DAG nodes
+	// (Config.ExperimentParallelism slots).
+	sem chan struct{}
+
+	mu    sync.Mutex
+	nodes map[string]*nodeState
 }
 
 // New generates the synthetic web and wires up the crawler.
@@ -149,6 +179,10 @@ func New(cfg Config) *Study {
 	if cfg.Reps <= 0 {
 		cfg.Reps = 5
 	}
+	par := cfg.ExperimentParallelism
+	if par < 1 {
+		par = 1
+	}
 	reg := synthweb.Generate(synthweb.Config{Seed: cfg.Seed, FillerScale: cfg.Scale})
 	farm := webfarm.New(reg)
 	crawler := measure.New(reg, farm.Transport())
@@ -157,6 +191,12 @@ func New(cfg Config) *Study {
 	crawler.NoAnalysisCache = cfg.NoAnalysisCache
 	crawler.CheckpointDir = cfg.CheckpointDir
 	crawler.Resume = cfg.Resume
+	if par > 1 {
+		// Concurrent campaigns draw visit slots from ONE budget sized
+		// like a single campaign's worker pool, so experiment-level
+		// parallelism reorders work instead of multiplying it.
+		crawler.Budget = campaign.NewBudget(cfg.Workers)
+	}
 	if cfg.Progress != nil {
 		crawler.Progress = func(p campaign.Progress) {
 			cfg.Progress(Progress{
@@ -166,7 +206,11 @@ func New(cfg Config) *Study {
 			})
 		}
 	}
-	return &Study{cfg: cfg, reg: reg, farm: farm, crawler: crawler}
+	return &Study{
+		cfg: cfg, reg: reg, farm: farm, crawler: crawler,
+		sem:   make(chan struct{}, par),
+		nodes: map[string]*nodeState{},
+	}
 }
 
 // Targets returns the measurement target list (sorted domains).

@@ -1,6 +1,7 @@
 package cookiewalk
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -56,9 +57,17 @@ type Dataset struct {
 	BlockRate float64             `json:"adblock_block_rate,omitempty"`
 }
 
-// BuildDataset assembles the release from the (cached) campaign.
-func (s *Study) BuildDataset() Dataset {
-	l := s.Landscape()
+// BuildDataset assembles the release from the memoized campaign
+// artefacts (resolving them through the experiment DAG store on first
+// use). A failed or canceled landscape crawl fails the build: the
+// latched artefact may be PARTIAL, and a data release must never
+// silently truncate (the error mirrors what Report surfaces).
+func (s *Study) BuildDataset() (Dataset, error) {
+	ctx := context.Background()
+	l := s.landscapeArt(ctx)
+	if err := s.landscapeError(); err != nil {
+		return Dataset{}, fmt.Errorf("cookiewalk: landscape crawl: %w", err)
+	}
 	ds := Dataset{
 		Seed:    s.cfg.Seed,
 		Scale:   s.cfg.Scale,
@@ -81,7 +90,7 @@ func (s *Study) BuildDataset() Dataset {
 			Verified:    len(s.crawler.Verified(res.Cookiewalls)),
 		})
 	}
-	for _, o := range s.germanObservations() {
+	for _, o := range s.germanObservations(ctx) {
 		rec := WallRecord{
 			Domain:     o.Domain,
 			TLD:        o.TLD(),
@@ -104,14 +113,18 @@ func (s *Study) BuildDataset() Dataset {
 		ds.Walls = append(ds.Walls, rec)
 	}
 	ds.Accuracy = s.crawler.Accuracy(l, 1000, s.cfg.Seed)
-	return ds
+	return ds, nil
 }
 
 // ExportJSON writes the dataset as indented JSON.
 func (s *Study) ExportJSON(w io.Writer) error {
+	ds, err := s.BuildDataset()
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(s.BuildDataset()); err != nil {
+	if err := enc.Encode(ds); err != nil {
 		return fmt.Errorf("cookiewalk: export json: %w", err)
 	}
 	return nil
@@ -119,6 +132,10 @@ func (s *Study) ExportJSON(w io.Writer) error {
 
 // ExportWallsCSV writes one CSV row per verified cookiewall.
 func (s *Study) ExportWallsCSV(w io.Writer) error {
+	ds, err := s.BuildDataset()
+	if err != nil {
+		return err
+	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"domain", "tld", "language", "category", "embedding",
@@ -126,7 +143,7 @@ func (s *Study) ExportWallsCSV(w io.Writer) error {
 	}); err != nil {
 		return err
 	}
-	for _, rec := range s.BuildDataset().Walls {
+	for _, rec := range ds.Walls {
 		words := ""
 		for i, wd := range rec.Words {
 			if i > 0 {

@@ -10,7 +10,10 @@ import (
 
 func TestBuildDataset(t *testing.T) {
 	s := testStudy(t)
-	ds := s.BuildDataset()
+	ds, err := s.BuildDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ds.Targets != len(s.Targets()) {
 		t.Fatalf("targets = %d", ds.Targets)
 	}

@@ -1,0 +1,129 @@
+package campaign
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBudgetBoundsConcurrentCampaigns runs several campaigns
+// concurrently on one shared budget and asserts the combined in-flight
+// visit count never exceeds the budget, while every campaign still
+// delivers its full result sequence in order.
+func TestBudgetBoundsConcurrentCampaigns(t *testing.T) {
+	const slots = 3
+	b := NewBudget(slots)
+	var cur, peak atomic.Int32
+	visit := func(_ context.Context, x int) (int, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return x * 2, nil
+	}
+	targets := make([]int, 64)
+	for i := range targets {
+		targets[i] = i
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var got []int
+			stats, err := Run(context.Background(),
+				Config{Workers: 8, Shards: 2, Budget: b}, targets, visit,
+				func(r Result[int]) { got = append(got, r.Value) })
+			if err != nil {
+				t.Errorf("Run: %v", err)
+				return
+			}
+			if stats.Done != len(targets) {
+				t.Errorf("done = %d, want %d", stats.Done, len(targets))
+			}
+			for i, v := range got {
+				if v != 2*i {
+					t.Errorf("out-of-order delivery: got[%d] = %d", i, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > slots {
+		t.Fatalf("peak concurrent visits = %d, budget %d", p, slots)
+	}
+	if p := peak.Load(); p == 0 {
+		t.Fatal("no visit ever ran")
+	}
+}
+
+// TestBudgetCancellationWhileWaiting cancels a campaign whose workers
+// are blocked waiting for budget slots held by a stalled visit: Run
+// must return promptly with every target accounted, and the blocked
+// acquirers must not leak.
+func TestBudgetCancellationWhileWaiting(t *testing.T) {
+	b := NewBudget(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started atomic.Int32
+	visit := func(ctx context.Context, x int) (int, error) {
+		if started.Add(1) == 1 {
+			// First visit squats on the only slot until canceled.
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+		}
+		return x, nil
+	}
+	targets := make([]int, 50)
+	done := make(chan struct{})
+	var stats Stats
+	var runErr error
+	go func() {
+		defer close(done)
+		stats, runErr = Run(ctx, Config{Workers: 4, Budget: b}, targets, visit, nil)
+	}()
+	for started.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return within 5s of cancellation")
+	}
+	close(release)
+	if runErr == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if stats.Done+stats.Canceled != len(targets) {
+		t.Fatalf("done %d + canceled %d != %d targets", stats.Done, stats.Canceled, len(targets))
+	}
+	if stats.Canceled == 0 {
+		t.Fatal("expected canceled targets (workers were blocked on the budget)")
+	}
+}
+
+// TestNilBudgetIsUnbounded: a nil *Budget grants immediately (the
+// default, budget-free path must stay allocation- and contention-free).
+func TestNilBudgetIsUnbounded(t *testing.T) {
+	var b *Budget
+	if !b.acquire(context.Background()) {
+		t.Fatal("nil budget refused a slot")
+	}
+	b.release()
+	stats, err := Run(context.Background(), Config{Workers: 2, Budget: nil},
+		[]int{1, 2, 3}, func(_ context.Context, x int) (int, error) { return x, nil }, nil)
+	if err != nil || stats.Done != 3 {
+		t.Fatalf("stats %+v, err %v", stats, err)
+	}
+}

@@ -62,6 +62,51 @@ type Config struct {
 	// Checkpoint type and journal.go for the format and crash-safety
 	// guarantees.
 	Checkpoint *Checkpoint
+	// Budget, when set, is a weighted worker budget shared across
+	// campaigns: every visit holds one budget slot while it runs, so N
+	// campaigns executing concurrently draw from one bounded pool
+	// instead of oversubscribing the machine with N × Workers busy
+	// goroutines. Replayed (journaled) deliveries never consume a slot.
+	// Purely a scheduling knob — results are identical with or without
+	// it.
+	Budget *Budget
+}
+
+// Budget is a weighted visit budget shared by concurrent campaigns.
+// Each in-flight visit holds one slot; campaigns block dispatching
+// further visits while the pool is exhausted. A nil *Budget is valid
+// and grants every request immediately.
+type Budget struct {
+	slots chan struct{}
+}
+
+// NewBudget returns a budget of n concurrent visit slots (n <= 0 means
+// GOMAXPROCS).
+func NewBudget(n int) *Budget {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Budget{slots: make(chan struct{}, n)}
+}
+
+// acquire blocks until a slot is free or ctx is canceled; it reports
+// whether a slot was obtained (and must be released).
+func (b *Budget) acquire(ctx context.Context) bool {
+	if b == nil {
+		return true
+	}
+	select {
+	case b.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (b *Budget) release() {
+	if b != nil {
+		<-b.slots
+	}
 }
 
 func (c Config) workers() int {
@@ -326,7 +371,16 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 					// slipped past the checksum) is not fatal: fall through
 					// and re-visit the target fresh.
 				}
+				// A real visit holds one slot of the (possibly shared)
+				// worker budget; cancellation while waiting accounts the
+				// target as canceled, exactly like the dispatch-race path
+				// above.
+				if !cfg.Budget.acquire(ctx) {
+					resCh <- shardResult[R]{res: r, canceled: true}
+					continue
+				}
 				r.Value, r.Err = visit(ctx, targets[i])
+				cfg.Budget.release()
 				sr := shardResult[R]{res: r}
 				if ck != nil && !ck.dead.Load() {
 					// Serialize on the worker so the single-threaded

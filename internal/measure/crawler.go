@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -49,7 +50,9 @@ type Crawler struct {
 	Shards int
 	// Progress, when set, receives streaming campaign progress
 	// (visit/error counters per shard) from every crawl this crawler
-	// runs. Purely observational.
+	// runs. Purely observational. Campaigns running concurrently (the
+	// study's ExperimentParallelism > 1) invoke it from their own
+	// delivery goroutines simultaneously — make it concurrency-safe.
 	Progress func(campaign.Progress)
 	// ProgressEvery overrides the delivery interval between Progress
 	// callbacks (default: the engine's, 1000). Purely observational.
@@ -67,10 +70,16 @@ type Crawler struct {
 	// replays them instead, re-crawling only what is missing. Results
 	// are byte-identical either way.
 	CheckpointDir string
-	// Resume makes Landscape replay the journals under CheckpointDir
-	// (no-op when CheckpointDir is empty; an empty/missing journal
-	// degrades to a fresh crawl).
+	// Resume makes every checkpointed campaign replay the journals
+	// under CheckpointDir (no-op when CheckpointDir is empty; an
+	// empty/missing journal degrades to a fresh crawl).
 	Resume bool
+	// Budget, when set, is a weighted worker budget shared by every
+	// campaign this crawler runs: concurrent experiment campaigns draw
+	// visit slots from one bounded pool instead of each saturating its
+	// own Workers-sized pool. Purely a scheduling knob — results are
+	// identical with or without it.
+	Budget *campaign.Budget
 }
 
 // New returns a Crawler.
@@ -86,7 +95,35 @@ func (c *Crawler) engine(label string) campaign.Config {
 		Shards:        c.Shards,
 		OnProgress:    c.Progress,
 		ProgressEvery: c.ProgressEvery,
+		Budget:        c.Budget,
 	}
+}
+
+// runExperimentCampaign executes one labeled experiment campaign
+// through the engine. With Crawler.CheckpointDir set (and a non-nil
+// codec), the campaign journals its deliveries into
+// CheckpointDir/<path(label)>/ — every experiment gets its own journal
+// subdirectory, keyed by its campaign label — and with Crawler.Resume
+// additionally set, a previous (killed) run's journal replays instead,
+// re-visiting only what is missing. Labels must therefore be unique
+// per campaign across the whole study. A nil codec opts the campaign
+// out of journaling (single-visit campaigns like AnalyzeOne).
+func runExperimentCampaign[R any](ctx context.Context, c *Crawler, label string, codec campaign.Codec, targets []string,
+	visit func(context.Context, string) (R, error), sink func(campaign.Result[R])) (campaign.Stats, error) {
+
+	cfg := c.engine(label)
+	run := campaign.Run[string, R]
+	if c.CheckpointDir != "" && codec != nil {
+		cfg.Checkpoint = &campaign.Checkpoint{
+			Dir:         filepath.Join(c.CheckpointDir, pathLabel(label)),
+			Codec:       codec,
+			TargetsHash: campaign.HashTargets(targets),
+		}
+		if c.Resume {
+			run = campaign.Resume[string, R]
+		}
+	}
+	return run(ctx, cfg, targets, visit, sink)
 }
 
 // browserPool recycles emulated-browser sessions — and their cookie-jar
@@ -322,17 +359,20 @@ const (
 // interaction, and returns per-site average cookie tallies — the §4.3
 // methodology ("we repeat each measurement five times per website and
 // calculate the average number of cookies per website"). The returned
-// error is non-nil only when ctx is canceled mid-campaign; the tallies
-// streamed before cancellation are returned with it.
+// error is non-nil only when ctx is canceled mid-campaign (or on a
+// checkpoint journal failure); the tallies streamed before
+// cancellation are returned with it. label names the campaign in
+// progress snapshots and checkpoint journals ("fig4 cookiewall",
+// "fig5 accept", ...) and must be unique per campaign.
 //
-// Like every other experiment path, this streams through campaign.Run:
-// the engine delivers each site's tally in input order the moment it
-// is ready, and the only materialization left is the caller-facing
+// Like every other experiment path, this streams through the engine:
+// each site's tally is delivered in input order the moment it is
+// ready, and the only materialization left is the caller-facing
 // result slice itself (Figures 4-6 genuinely need the full per-site
 // set for medians and correlations).
-func (c *Crawler) MeasureCookies(ctx context.Context, vp vantage.VP, domains []string, reps int, mode InteractionMode, smpToken string) ([]SiteCookies, error) {
+func (c *Crawler) MeasureCookies(ctx context.Context, vp vantage.VP, label string, domains []string, reps int, mode InteractionMode, smpToken string) ([]SiteCookies, error) {
 	out := make([]SiteCookies, 0, len(domains))
-	_, err := campaign.Run(ctx, c.engine("cookies "+modeLabel(mode)), domains,
+	_, err := runExperimentCampaign(ctx, c, label, SiteCookiesCodec{}, domains,
 		func(ctx context.Context, domain string) (SiteCookies, error) {
 			var sum CookieTally
 			ok := 0

@@ -1,0 +1,208 @@
+package measure
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Checkpoint codecs for the non-landscape experiment campaigns
+// (campaign.Codec implementations). Each campaign journals exactly the
+// value its sink aggregates — never a full Observation when the
+// experiment only needs a verdict — so replays can never poison the
+// process-wide analysis memo with synthesized results (the bypass
+// experiment, for instance, overrides Observation.Kind with its
+// across-repetitions verdict, which must not be seeded back as a page
+// analysis). Every codec carries a distinct leading tag byte, so a
+// journal wired to the wrong campaign type fails decoding and degrades
+// to fresh visits instead of mis-decoding.
+
+// SiteCookiesCodec serializes SiteCookies for the cookie-measurement
+// campaigns (Figures 4 and 5).
+type SiteCookiesCodec struct{}
+
+// Codec tag bytes ("versions": bump on any layout change so stale
+// journals fall back to fresh visits).
+const (
+	siteCookiesTag = 0x51
+	bypassTag      = 0x52
+	ablationTag    = 0x53
+	autoRejectTag  = 0x54
+	botCheckTag    = 0x55
+	revocationTag  = 0x56
+)
+
+// Encode implements campaign.Codec.
+func (SiteCookiesCodec) Encode(v any) ([]byte, error) {
+	sc, ok := v.(SiteCookies)
+	if !ok {
+		return nil, fmt.Errorf("measure: SiteCookiesCodec: unexpected type %T", v)
+	}
+	buf := make([]byte, 0, 32+len(sc.Domain)+len(sc.Err))
+	buf = append(buf, siteCookiesTag)
+	buf = appendStr(buf, sc.Domain)
+	buf = appendStr(buf, sc.Err)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(sc.Tally.FirstParty))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(sc.Tally.ThirdParty))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(sc.Tally.Tracking))
+	return buf, nil
+}
+
+// Decode implements campaign.Codec.
+func (SiteCookiesCodec) Decode(data []byte) (any, error) {
+	d := obsDecoder{data: data}
+	if tag := d.byte(); tag != siteCookiesTag {
+		return nil, fmt.Errorf("measure: SiteCookiesCodec: tag %#x, want %#x", tag, siteCookiesTag)
+	}
+	var sc SiteCookies
+	sc.Domain = d.str()
+	sc.Err = d.str()
+	sc.Tally.FirstParty = math.Float64frombits(d.u64())
+	sc.Tally.ThirdParty = math.Float64frombits(d.u64())
+	sc.Tally.Tracking = math.Float64frombits(d.u64())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.data) != 0 {
+		return nil, fmt.Errorf("measure: SiteCookiesCodec: %d trailing bytes", len(d.data))
+	}
+	return sc, nil
+}
+
+// flagsCodec is the shared shape of the small verdict codecs: a tag
+// byte plus one flags byte (plus an optional domain for the campaigns
+// whose sinks report per-domain lists).
+func encodeFlags(tag byte, flags byte, domain string) []byte {
+	buf := make([]byte, 0, 8+len(domain))
+	buf = append(buf, tag, flags)
+	buf = appendStr(buf, domain)
+	return buf
+}
+
+func decodeFlags(codec string, tag byte, data []byte) (flags byte, domain string, err error) {
+	d := obsDecoder{data: data}
+	if got := d.byte(); got != tag {
+		return 0, "", fmt.Errorf("measure: %s: tag %#x, want %#x", codec, got, tag)
+	}
+	flags = d.byte()
+	domain = d.str()
+	if d.err != nil {
+		return 0, "", d.err
+	}
+	if len(d.data) != 0 {
+		return 0, "", fmt.Errorf("measure: %s: %d trailing bytes", codec, len(d.data))
+	}
+	return flags, domain, nil
+}
+
+func packBools(bs ...bool) byte {
+	var f byte
+	for i, b := range bs {
+		if b {
+			f |= 1 << i
+		}
+	}
+	return f
+}
+
+// bypassCodec journals the §4.5 per-domain verdict (wall survived the
+// blocker across repetitions, plus the two quirk flags).
+type bypassCodec struct{}
+
+func (bypassCodec) Encode(v any) ([]byte, error) {
+	o, ok := v.(bypassOutcome)
+	if !ok {
+		return nil, fmt.Errorf("measure: bypassCodec: unexpected type %T", v)
+	}
+	return encodeFlags(bypassTag, packBools(o.Wall, o.AdblockPlea, o.ScrollLocked), o.Domain), nil
+}
+
+func (bypassCodec) Decode(data []byte) (any, error) {
+	f, domain, err := decodeFlags("bypassCodec", bypassTag, data)
+	if err != nil {
+		return nil, err
+	}
+	return bypassOutcome{Domain: domain, Wall: f&1 != 0, AdblockPlea: f&2 != 0, ScrollLocked: f&4 != 0}, nil
+}
+
+// ablationCodec journals the four detector-configuration verdicts of
+// one ablation visit.
+type ablationCodec struct{}
+
+func (ablationCodec) Encode(v any) ([]byte, error) {
+	c, ok := v.(ablationCounts)
+	if !ok {
+		return nil, fmt.Errorf("measure: ablationCodec: unexpected type %T", v)
+	}
+	return encodeFlags(ablationTag, packBools(c.full, c.noShadow, c.noFrames, c.mainOnly), ""), nil
+}
+
+func (ablationCodec) Decode(data []byte) (any, error) {
+	f, _, err := decodeFlags("ablationCodec", ablationTag, data)
+	if err != nil {
+		return nil, err
+	}
+	return ablationCounts{full: f&1 != 0, noShadow: f&2 != 0, noFrames: f&4 != 0, mainOnly: f&8 != 0}, nil
+}
+
+// autoRejectCodec journals one auto-reject attempt's outcome.
+type autoRejectCodec struct{}
+
+func (autoRejectCodec) Encode(v any) ([]byte, error) {
+	o, ok := v.(rejectOutcome)
+	if !ok {
+		return nil, fmt.Errorf("measure: autoRejectCodec: unexpected type %T", v)
+	}
+	return encodeFlags(autoRejectTag, byte(o), ""), nil
+}
+
+func (autoRejectCodec) Decode(data []byte) (any, error) {
+	f, _, err := decodeFlags("autoRejectCodec", autoRejectTag, data)
+	if err != nil {
+		return nil, err
+	}
+	if f > byte(outFailed) {
+		return nil, fmt.Errorf("measure: autoRejectCodec: outcome %d out of range", f)
+	}
+	return rejectOutcome(f), nil
+}
+
+// botCheckCodec journals one domain's banner visibility under the two
+// crawler identities.
+type botCheckCodec struct{}
+
+func (botCheckCodec) Encode(v any) ([]byte, error) {
+	p, ok := v.(botPair)
+	if !ok {
+		return nil, fmt.Errorf("measure: botCheckCodec: unexpected type %T", v)
+	}
+	return encodeFlags(botCheckTag, packBools(p.mitigated, p.naive), ""), nil
+}
+
+func (botCheckCodec) Decode(data []byte) (any, error) {
+	f, _, err := decodeFlags("botCheckCodec", botCheckTag, data)
+	if err != nil {
+		return nil, err
+	}
+	return botPair{mitigated: f&1 != 0, naive: f&2 != 0}, nil
+}
+
+// revocationCodec journals one domain's accept/revisit/delete/revisit
+// outcome.
+type revocationCodec struct{}
+
+func (revocationCodec) Encode(v any) ([]byte, error) {
+	o, ok := v.(revOutcome)
+	if !ok {
+		return nil, fmt.Errorf("measure: revocationCodec: unexpected type %T", v)
+	}
+	return encodeFlags(revocationTag, packBools(o.tested, o.gone, o.persisted, o.back), ""), nil
+}
+
+func (revocationCodec) Decode(data []byte) (any, error) {
+	f, _, err := decodeFlags("revocationCodec", revocationTag, data)
+	if err != nil {
+		return nil, err
+	}
+	return revOutcome{tested: f&1 != 0, gone: f&2 != 0, persisted: f&4 != 0, back: f&8 != 0}, nil
+}

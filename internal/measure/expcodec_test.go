@@ -1,0 +1,90 @@
+package measure
+
+import (
+	"testing"
+
+	"cookiewalk/internal/campaign"
+)
+
+// TestExperimentCodecRoundTrips pins Decode(Encode(v)) == v for every
+// experiment journal codec — the property resumed campaigns rest on.
+func TestExperimentCodecRoundTrips(t *testing.T) {
+	cases := []struct {
+		name  string
+		codec campaign.Codec
+		vals  []any
+	}{
+		{"sitecookies", SiteCookiesCodec{}, []any{
+			SiteCookies{Domain: "a.example", Tally: CookieTally{FirstParty: 1.5, ThirdParty: 2.25, Tracking: 42}},
+			SiteCookies{Domain: "b.example", Err: "webfarm: host not found"},
+			SiteCookies{},
+		}},
+		{"bypass", bypassCodec{}, []any{
+			bypassOutcome{Domain: "wall.example", Wall: true, AdblockPlea: true},
+			bypassOutcome{Domain: "gone.example", ScrollLocked: true},
+			bypassOutcome{},
+		}},
+		{"ablation", ablationCodec{}, []any{
+			ablationCounts{full: true, noShadow: true},
+			ablationCounts{mainOnly: true, noFrames: true},
+			ablationCounts{},
+		}},
+		{"autoreject", autoRejectCodec{}, []any{
+			outRejected, outNoReject, outNoBanner, outFailed,
+		}},
+		{"botcheck", botCheckCodec{}, []any{
+			botPair{mitigated: true}, botPair{naive: true}, botPair{},
+		}},
+		{"revocation", revocationCodec{}, []any{
+			revOutcome{tested: true, gone: true, persisted: true, back: true},
+			revOutcome{tested: true},
+			revOutcome{},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, v := range tc.vals {
+				enc, err := tc.codec.Encode(v)
+				if err != nil {
+					t.Fatalf("encode %#v: %v", v, err)
+				}
+				dec, err := tc.codec.Decode(enc)
+				if err != nil {
+					t.Fatalf("decode %#v: %v", v, err)
+				}
+				if dec != v {
+					t.Fatalf("round trip: got %#v, want %#v", dec, v)
+				}
+			}
+			// Wrong type refused, never silently encoded.
+			if _, err := tc.codec.Encode(struct{}{}); err == nil {
+				t.Fatal("encoding a foreign type succeeded")
+			}
+		})
+	}
+}
+
+// TestExperimentCodecsRejectCrossWiring: every codec carries a
+// distinct tag, so a journal replayed through the wrong campaign's
+// codec fails decoding (and the engine degrades that record to a fresh
+// visit) instead of mis-decoding.
+func TestExperimentCodecsRejectCrossWiring(t *testing.T) {
+	enc, err := (ablationCodec{}).Encode(ablationCounts{full: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []campaign.Codec{
+		SiteCookiesCodec{}, bypassCodec{}, autoRejectCodec{}, botCheckCodec{}, revocationCodec{}, ObservationCodec{},
+	} {
+		if _, err := other.Decode(enc); err == nil {
+			t.Fatalf("%T decoded an ablation record", other)
+		}
+	}
+	// Truncated and trailing-garbage records are refused too.
+	if _, err := (ablationCodec{}).Decode(enc[:1]); err == nil {
+		t.Fatal("decoded a truncated record")
+	}
+	if _, err := (ablationCodec{}).Decode(append(append([]byte(nil), enc...), 0xFF)); err == nil {
+		t.Fatal("decoded a record with trailing bytes")
+	}
+}

@@ -46,10 +46,10 @@ func (c *Crawler) RunFigure4(ctx context.Context, l *Landscape, vp vantage.VP, r
 
 	var f Figure4
 	var err error
-	if f.Regular, err = c.MeasureCookies(ctx, vp, regular, reps, ModeAccept, ""); err != nil {
+	if f.Regular, err = c.MeasureCookies(ctx, vp, "fig4 regular", regular, reps, ModeAccept, ""); err != nil {
 		return f, err
 	}
-	if f.Cookiewall, err = c.MeasureCookies(ctx, vp, wallDomains, reps, ModeAccept, ""); err != nil {
+	if f.Cookiewall, err = c.MeasureCookies(ctx, vp, "fig4 cookiewall", wallDomains, reps, ModeAccept, ""); err != nil {
 		return f, err
 	}
 	f.RegularMedian = medianTally(f.Regular)
@@ -121,10 +121,12 @@ func (c *Crawler) RunFigure5(ctx context.Context, vp vantage.VP, platform string
 		Platform: platform,
 		Partners: len(partners),
 	}
-	if f.Accept, err = c.MeasureCookies(ctx, vp, partners, reps, ModeAccept, ""); err != nil {
+	// Labels carry the platform: a study measuring several SMPs runs
+	// one campaign (and one checkpoint journal) per platform and mode.
+	if f.Accept, err = c.MeasureCookies(ctx, vp, "fig5 "+platform+" accept", partners, reps, ModeAccept, ""); err != nil {
 		return f, err
 	}
-	if f.Subscription, err = c.MeasureCookies(ctx, vp, partners, reps, ModeSubscribe, token); err != nil {
+	if f.Subscription, err = c.MeasureCookies(ctx, vp, "fig5 "+platform+" subscribe", partners, reps, ModeSubscribe, token); err != nil {
 		return f, err
 	}
 	f.AcceptMedian = medianTally(f.Accept)
@@ -135,6 +137,36 @@ func (c *Crawler) RunFigure5(ctx context.Context, vp vantage.VP, platform string
 		}
 	}
 	return f, nil
+}
+
+// SMPPlatform summarizes one subscription-management platform (§4.4):
+// its partner count and how many partners are on the measurement
+// target list.
+type SMPPlatform struct {
+	Platform  string
+	Partners  int
+	InTargets int
+}
+
+// SMPSummary computes the §4.4 partner-coverage artefact for each
+// platform from the registry — pure bookkeeping, no crawling.
+func (c *Crawler) SMPSummary(platforms []string) []SMPPlatform {
+	targets := map[string]bool{}
+	for _, d := range c.Reg.TargetList() {
+		targets[d] = true
+	}
+	out := make([]SMPPlatform, 0, len(platforms))
+	for _, platform := range platforms {
+		partners := c.Reg.SMP.Partners(platform)
+		p := SMPPlatform{Platform: platform, Partners: len(partners)}
+		for _, d := range partners {
+			if targets[d] {
+				p.InTargets++
+			}
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // BuySubscription POSTs to the SMP portal's subscribe endpoint and
@@ -176,36 +208,46 @@ type Bypass struct {
 	ScrollLockSites  []string
 }
 
+// bypassOutcome is one domain's across-repetitions §4.5 verdict — the
+// exact value the bypass sink aggregates, and therefore the exact
+// value its checkpoint journal records (journaling a synthesized
+// Observation instead would re-seed the analysis memo with a falsified
+// Kind on replay).
+type bypassOutcome struct {
+	Domain string
+	// Wall reports that the cookiewall survived the blocker in at least
+	// one repetition.
+	Wall         bool
+	AdblockPlea  bool
+	ScrollLocked bool
+}
+
 // RunBypass visits each cookiewall domain reps times with the blocker
 // enabled and counts walls that disappear across all repetitions,
 // streaming each domain's verdict into the tally. The error is non-nil
-// only when ctx is canceled mid-campaign.
+// only when ctx is canceled mid-campaign (or on a checkpoint journal
+// failure).
 func (c *Crawler) RunBypass(ctx context.Context, vp vantage.VP, wallDomains []string, reps int, engine *adblock.Engine) (Bypass, error) {
 	b := Bypass{Total: len(wallDomains)}
-	_, err := campaign.Run(ctx, c.engine("bypass"), wallDomains,
-		func(_ context.Context, domain string) (Observation, error) {
-			var last Observation
-			blockedAll := true
+	_, err := runExperimentCampaign(ctx, c, "bypass", bypassCodec{}, wallDomains,
+		func(_ context.Context, domain string) (bypassOutcome, error) {
+			out := bypassOutcome{Domain: domain}
 			for rep := 0; rep < reps; rep++ {
 				o := c.Visit(vp, domain, VisitOpts{
 					Visit:   fmt.Sprintf("%s|ub%d", vp.Name, rep),
 					Blocker: engine,
 				})
-				last = o
 				if o.Err == "" && o.Kind == core.KindCookiewall {
-					blockedAll = false
+					out.Wall = true
 				}
+				out.AdblockPlea = o.AdblockPlea
+				out.ScrollLocked = o.ScrollLocked
 			}
-			if !blockedAll {
-				last.Kind = core.KindCookiewall
-			} else {
-				last.Kind = core.KindNone
-			}
-			return last, nil
+			return out, nil
 		},
-		func(r campaign.Result[Observation]) {
+		func(r campaign.Result[bypassOutcome]) {
 			o := r.Value
-			if o.Kind != core.KindCookiewall {
+			if !o.Wall {
 				b.FullyBlocked++
 			} else {
 				b.StillShowing = append(b.StillShowing, o.Domain)

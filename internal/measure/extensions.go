@@ -2,7 +2,6 @@ package measure
 
 import (
 	"context"
-	"fmt"
 
 	"cookiewalk/internal/browser"
 	"cookiewalk/internal/campaign"
@@ -13,7 +12,9 @@ import (
 // This file implements the §5 discussion items as runnable
 // experiments: detection ablations (what an unmodified tool would
 // miss), Firefox-style automatic reject clicking (and how cookiewalls
-// defeat it), and consent revocation by cookie deletion.
+// defeat it), and consent revocation by cookie deletion. Each runs as
+// a labeled campaign through the engine, so they stream, cancel,
+// report progress and checkpoint exactly like the landscape crawl.
 
 // Ablation quantifies detection coverage with parts of the pipeline
 // disabled.
@@ -28,31 +29,34 @@ type Ablation struct {
 	MainOnly int
 }
 
+// ablationCounts is one domain's verdict under the four detector
+// configurations (the ablation campaign's journaled value).
+type ablationCounts struct{ full, noShadow, noFrames, mainOnly bool }
+
 // RunAblation re-analyzes the verified cookiewall sites with reduced
 // detector configurations. The error is non-nil only when ctx is
-// canceled mid-campaign.
+// canceled mid-campaign (or on a checkpoint journal failure).
 func (c *Crawler) RunAblation(ctx context.Context, vp vantage.VP, wallDomains []string) (Ablation, error) {
-	type counts struct{ full, noShadow, noFrames, mainOnly bool }
 	var a Ablation
-	_, err := campaign.Run(ctx, c.engine("ablation"), wallDomains,
-		func(_ context.Context, domain string) (counts, error) {
+	_, err := runExperimentCampaign(ctx, c, "ablation", ablationCodec{}, wallDomains,
+		func(_ context.Context, domain string) (ablationCounts, error) {
 			b := c.acquireBrowser(vp)
 			defer releaseBrowser(b)
 			page, err := b.Open("https://" + domain + "/")
 			if err != nil {
-				return counts{}, nil
+				return ablationCounts{}, nil
 			}
 			wall := func(opts core.Options) bool {
 				return core.DetectWith(page.Doc, opts).Kind == core.KindCookiewall
 			}
-			return counts{
+			return ablationCounts{
 				full:     wall(core.Options{}),
 				noShadow: wall(core.Options{SkipShadow: true}),
 				noFrames: wall(core.Options{SkipFrames: true}),
 				mainOnly: wall(core.Options{SkipShadow: true, SkipFrames: true}),
 			}, nil
 		},
-		func(r campaign.Result[counts]) {
+		func(r campaign.Result[ablationCounts]) {
 			if r.Value.full {
 				a.Full++
 			}
@@ -86,19 +90,24 @@ type AutoReject struct {
 	Failed   int
 }
 
+// rejectOutcome is one auto-reject attempt's verdict (the campaign's
+// journaled value).
+type rejectOutcome byte
+
+const (
+	outRejected rejectOutcome = iota
+	outNoReject
+	outNoBanner
+	outFailed
+)
+
 // RunAutoReject visits each domain and tries the auto-reject policy.
-// The error is non-nil only when ctx is canceled mid-campaign.
+// The error is non-nil only when ctx is canceled mid-campaign (or on a
+// checkpoint journal failure).
 func (c *Crawler) RunAutoReject(ctx context.Context, vp vantage.VP, domains []string) (AutoReject, error) {
-	type outcome int
-	const (
-		outRejected outcome = iota
-		outNoReject
-		outNoBanner
-		outFailed
-	)
 	var a AutoReject
-	_, err := campaign.Run(ctx, c.engine("autoreject"), domains,
-		func(_ context.Context, domain string) (outcome, error) {
+	_, err := runExperimentCampaign(ctx, c, "autoreject", autoRejectCodec{}, domains,
+		func(_ context.Context, domain string) (rejectOutcome, error) {
 			b := c.acquireBrowser(vp)
 			defer releaseBrowser(b)
 			page, err := b.Open("https://" + domain + "/")
@@ -121,7 +130,7 @@ func (c *Crawler) RunAutoReject(ctx context.Context, vp vantage.VP, domains []st
 			}
 			return outRejected, nil
 		},
-		func(r campaign.Result[outcome]) {
+		func(r campaign.Result[rejectOutcome]) {
 			a.Visited++
 			switch r.Value {
 			case outRejected:
@@ -152,13 +161,17 @@ type BotCheck struct {
 	BehaviourChanged int
 }
 
+// botPair is one domain's banner visibility under the two crawler
+// identities (the campaign's journaled value).
+type botPair struct{ mitigated, naive bool }
+
 // RunBotCheck compares site behaviour under the two crawler identities.
-// The error is non-nil only when ctx is canceled mid-campaign.
+// The error is non-nil only when ctx is canceled mid-campaign (or on a
+// checkpoint journal failure).
 func (c *Crawler) RunBotCheck(ctx context.Context, vp vantage.VP, domains []string) (BotCheck, error) {
-	type pair struct{ mitigated, naive bool }
 	var bc BotCheck
-	_, err := campaign.Run(ctx, c.engine("botcheck"), domains,
-		func(_ context.Context, domain string) (pair, error) {
+	_, err := runExperimentCampaign(ctx, c, "botcheck", botCheckCodec{}, domains,
+		func(_ context.Context, domain string) (botPair, error) {
 			showsBanner := func(ua string) bool {
 				b := c.acquireBrowser(vp)
 				defer releaseBrowser(b)
@@ -169,12 +182,12 @@ func (c *Crawler) RunBotCheck(ctx context.Context, vp vantage.VP, domains []stri
 				}
 				return core.Detect(page.Doc).Kind != core.KindNone
 			}
-			return pair{
+			return botPair{
 				mitigated: showsBanner(browser.DefaultUserAgent),
 				naive:     showsBanner(browser.CrawlerUserAgent),
 			}, nil
 		},
-		func(r campaign.Result[pair]) {
+		func(r campaign.Result[botPair]) {
 			bc.Sample++
 			if r.Value.mitigated {
 				bc.BannersMitigated++
@@ -203,49 +216,73 @@ type Revocation struct {
 	PersistedWithoutDeletion int
 }
 
+// revOutcome is one domain's accept/revisit/delete/revisit verdict
+// (the campaign's journaled value).
+type revOutcome struct{ tested, gone, persisted, back bool }
+
 // RunRevocation runs the accept -> revisit -> delete -> revisit flow.
-// The flow is inherently session-stateful, so it runs sequentially; ctx
-// cancels it between sites.
+// The flow is session-stateful per DOMAIN (one browser profile carries
+// its cookies through the four steps) but independent across domains,
+// so it runs as a campaign like every other experiment. A domain whose
+// flow fails mid-way (open or click error) counts as untested and is
+// recorded in the campaign's error ledger. The returned error is
+// non-nil only when ctx is canceled mid-campaign (or on a checkpoint
+// journal failure).
 func (c *Crawler) RunRevocation(ctx context.Context, vp vantage.VP, domains []string) (Revocation, error) {
 	var r Revocation
-	for _, domain := range domains {
-		if ctx.Err() != nil {
-			return r, context.Cause(ctx)
-		}
-		b := browser.New(c.Transport, vp)
-		page, err := b.Open("https://" + domain + "/")
-		if err != nil {
-			return r, fmt.Errorf("measure: revocation open %s: %w", domain, err)
-		}
-		det := core.Detect(page.Doc)
-		if det.Kind != core.KindCookiewall || det.AcceptButton == nil {
-			continue
-		}
-		r.Tested++
-		after, err := b.Click(page, det.AcceptButton)
-		if err != nil {
-			return r, fmt.Errorf("measure: revocation accept %s: %w", domain, err)
-		}
-		if core.Detect(after.Doc).Kind == core.KindNone {
-			r.GoneAfterAccept++
-		}
-		// Later visit with cookies kept: still no banner.
-		again, err := b.Open("https://" + domain + "/")
-		if err != nil {
-			return r, err
-		}
-		if core.Detect(again.Doc).Kind == core.KindNone {
-			r.PersistedWithoutDeletion++
-		}
-		// The §5 recipe: delete cookies (and local storage), revisit.
-		b.Jar.Clear()
-		fresh, err := b.Open("https://" + domain + "/")
-		if err != nil {
-			return r, err
-		}
-		if core.Detect(fresh.Doc).Kind == core.KindCookiewall {
-			r.BackAfterDeletion++
-		}
-	}
-	return r, nil
+	_, err := runExperimentCampaign(ctx, c, "revocation", revocationCodec{}, domains,
+		func(_ context.Context, domain string) (revOutcome, error) {
+			b := c.acquireBrowser(vp)
+			defer releaseBrowser(b)
+			page, err := b.Open("https://" + domain + "/")
+			if err != nil {
+				return revOutcome{}, err
+			}
+			det := core.Detect(page.Doc)
+			if det.Kind != core.KindCookiewall || det.AcceptButton == nil {
+				return revOutcome{}, nil
+			}
+			out := revOutcome{tested: true}
+			after, err := b.Click(page, det.AcceptButton)
+			if err != nil {
+				return revOutcome{}, err
+			}
+			if core.Detect(after.Doc).Kind == core.KindNone {
+				out.gone = true
+			}
+			// Later visit with cookies kept: still no banner.
+			again, err := b.Open("https://" + domain + "/")
+			if err != nil {
+				return revOutcome{}, err
+			}
+			if core.Detect(again.Doc).Kind == core.KindNone {
+				out.persisted = true
+			}
+			// The §5 recipe: delete cookies (and local storage), revisit.
+			b.Jar.Clear()
+			fresh, err := b.Open("https://" + domain + "/")
+			if err != nil {
+				return revOutcome{}, err
+			}
+			if core.Detect(fresh.Doc).Kind == core.KindCookiewall {
+				out.back = true
+			}
+			return out, nil
+		},
+		func(res campaign.Result[revOutcome]) {
+			o := res.Value
+			if o.tested {
+				r.Tested++
+			}
+			if o.gone {
+				r.GoneAfterAccept++
+			}
+			if o.persisted {
+				r.PersistedWithoutDeletion++
+			}
+			if o.back {
+				r.BackAfterDeletion++
+			}
+		})
+	return r, err
 }

@@ -3,7 +3,6 @@ package measure
 import (
 	"context"
 	"errors"
-	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -90,26 +89,10 @@ func (l *Landscape) buildIndex() {
 // Landscape is byte-identical to an uninterrupted crawl's.
 func (c *Crawler) Landscape(ctx context.Context, vps []vantage.VP, targets []string) (*Landscape, error) {
 	l := &Landscape{Targets: len(targets)}
-	var targetsHash uint64
-	if c.CheckpointDir != "" {
-		targetsHash = campaign.HashTargets(targets)
-	}
 	for _, vp := range vps {
 		vp := vp
 		res := VPResult{VP: vp.Name}
-		cfg := c.engine("landscape " + vp.Name)
-		run := campaign.Run[string, Observation]
-		if c.CheckpointDir != "" {
-			cfg.Checkpoint = &campaign.Checkpoint{
-				Dir:         filepath.Join(c.CheckpointDir, "landscape-"+pathLabel(vp.Name)),
-				Codec:       ObservationCodec{},
-				TargetsHash: targetsHash,
-			}
-			if c.Resume {
-				run = campaign.Resume[string, Observation]
-			}
-		}
-		stats, err := run(ctx, cfg, targets,
+		stats, err := runExperimentCampaign(ctx, c, "landscape "+vp.Name, ObservationCodec{}, targets,
 			func(_ context.Context, domain string) (Observation, error) {
 				o := c.Visit(vp, domain, VisitOpts{})
 				if o.Err != "" {
