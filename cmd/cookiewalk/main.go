@@ -22,6 +22,15 @@
 //	cookiewalk -exp all -checkpoint /tmp/ck -progress
 //	cookiewalk -exp all -checkpoint /tmp/ck -resume -progress
 //
+//	# Distributed crawling: one coordinator leases landscape shard
+//	# ranges to any number of workers (same seed/scale!), assembles
+//	# the shipped journals under -checkpoint, and reports once every
+//	# range has merged. Workers that crash mid-lease are detected by
+//	# a missed heartbeat TTL and their ranges re-leased; the report
+//	# stays byte-identical to a single-machine run's.
+//	cookiewalk -exp all -checkpoint /tmp/ck -serve :8440
+//	cookiewalk -worker http://coordinator:8440    # on each worker box
+//
 // Scale 1 (default) reproduces the full 45 222-target universe; the
 // eight-VP crawl then takes tens of seconds. Smaller scales keep every
 // cookiewall-related number identical and shrink only the filler web.
@@ -32,6 +41,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -55,11 +66,22 @@ func main() {
 		progress   = flag.Bool("progress", false, "stream campaign progress and per-shard error accounting to stderr")
 		checkpoint = flag.String("checkpoint", "", "journal every experiment campaign into per-experiment subdirectories of this directory (crash-safe; see -resume)")
 		resume     = flag.Bool("resume", false, "replay the journals under -checkpoint from a previous killed run and crawl only what is missing")
+		serve      = flag.String("serve", "", "coordinator mode: serve landscape shard-range leases on this address, assemble shipped journals under -checkpoint, then report")
+		workerURL  = flag.String("worker", "", "worker mode: lease, crawl and ship landscape shard ranges from the coordinator at this URL (no report)")
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "coordinator lease TTL: a worker silent this long is presumed dead and its range re-leased")
 	)
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "error: -resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
+	if *serve != "" && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "error: -serve requires -checkpoint DIR (the journal assembly target)")
+		os.Exit(2)
+	}
+	if *serve != "" && *workerURL != "" {
+		fmt.Fprintln(os.Stderr, "error: -serve and -worker are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -86,6 +108,12 @@ func main() {
 		Workers: *workers, Shards: *shards,
 		CheckpointDir: *checkpoint, Resume: *resume,
 		ExperimentParallelism: *jobs,
+		LeaseTTL:              *leaseTTL,
+	}
+	if *serve != "" {
+		// The post-merge report must replay the assembled journals
+		// rather than re-crawl, so coordinator mode implies -resume.
+		cfg.Resume = true
 	}
 	if *progress {
 		if *jobs > 1 {
@@ -102,6 +130,16 @@ func main() {
 	study := cookiewalk.New(cfg)
 	fmt.Fprintf(os.Stderr, "universe ready: %d targets (%.1fs)\n",
 		len(study.Targets()), time.Since(start).Seconds())
+
+	if *workerURL != "" {
+		runWorker(study, *workerURL)
+		fmt.Fprintf(os.Stderr, "total runtime: %.1fs\n", time.Since(start).Seconds())
+		return
+	}
+	if *serve != "" {
+		stop := serveFleet(study, *serve)
+		defer stop()
+	}
 
 	text, err := study.ReportContext(context.Background(), exps...)
 	if err != nil {
@@ -190,16 +228,70 @@ func printShardAccounting(study *cookiewalk.Study) {
 	}
 }
 
-// writeWith streams an export function into a file.
+// serveFleet runs the study's coordinator until every landscape shard
+// range has been leased, crawled (by some worker) and merged into the
+// checkpoint dir; the caller then reports off the assembled journals.
+// The returned stop func closes the HTTP server; it is left serving
+// until then so that workers polling for more work hear "done" and
+// exit cleanly instead of finding the port closed mid-poll.
+func serveFleet(study *cookiewalk.Study, addr string) (stop func()) {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	fc, err := study.NewFleetCoordinator(logf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: fc.Handler()}
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "coordinator listening on %s, waiting for workers...\n", ln.Addr())
+	if err := fc.Wait(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	st := fc.Status()
+	fmt.Fprintf(os.Stderr, "fleet complete: %d shard ranges merged (%d lease expiries along the way)\n",
+		st.Done, st.Expired)
+	return func() { srv.Close() }
+}
+
+// runWorker joins the fleet at url and crawls leased ranges until the
+// coordinator reports every range merged.
+func runWorker(study *cookiewalk.Study, url string) {
+	host, _ := os.Hostname()
+	name := fmt.Sprintf("%s-%d", host, os.Getpid())
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if err := study.RunFleetWorker(context.Background(), url, name, logf); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// writeWith streams an export function into a file. The Close error is
+// checked explicitly: these exports are the tool's dataset artifacts,
+// and a buffered write that only fails at close (ENOSPC, quota) must
+// not silently ship a truncated file.
 func writeWith(path string, export func(w io.Writer) error) {
 	f, err := os.Create(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "create:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
 	if err := export(f); err != nil {
+		f.Close()
 		fmt.Fprintln(os.Stderr, "export:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
 		os.Exit(1)
 	}
 }

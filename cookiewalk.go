@@ -68,6 +68,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"cookiewalk/internal/adblock"
 	"cookiewalk/internal/browser"
@@ -127,6 +128,12 @@ type Config struct {
 	// byte-identical to an uninterrupted run's. An empty or absent
 	// checkpoint directory (or subdirectory) degrades to a fresh crawl.
 	Resume bool
+	// LeaseTTL is the fleet coordinator's lease lifetime (default 30s;
+	// see NewFleetCoordinator): a worker that goes silent for LeaseTTL
+	// is presumed dead and its shard range is re-leased. Only read in
+	// coordinator mode; it never affects results, only how quickly a
+	// lost worker's range is handed to someone else.
+	LeaseTTL time.Duration
 	// ExperimentParallelism bounds how many experiment DAG nodes (and
 	// therefore independent campaigns) run concurrently during
 	// Report/ReportContext (default 1: experiments run one after

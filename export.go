@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
+	"strings"
 
 	"cookiewalk/internal/measure"
 	"cookiewalk/internal/vantage"
@@ -15,6 +17,11 @@ import (
 // The paper publishes its raw data alongside the tooling
 // (doi 10.17617/3.TREBZR). This file is the equivalent release path:
 // machine-readable exports of the measurement campaign.
+//
+// Exports are DETERMINISTIC: two studies built from the same Config
+// produce byte-identical JSON and CSV, independent of map iteration
+// order, worker count or shard count — diffing two release files is a
+// meaningful integrity check.
 
 // WallRecord is one verified cookiewall observation in the data
 // release.
@@ -109,6 +116,9 @@ func (s *Study) BuildDataset() (Dataset, error) {
 			for cc := range site.Lists {
 				rec.OnToplists = append(rec.OnToplists, cc)
 			}
+			// Map iteration order is random: without this sort two
+			// exports of the same study would differ byte-for-byte.
+			sort.Strings(rec.OnToplists)
 		}
 		ds.Walls = append(ds.Walls, rec)
 	}
@@ -137,24 +147,22 @@ func (s *Study) ExportWallsCSV(w io.Writer) error {
 		return err
 	}
 	cw := csv.NewWriter(w)
+	// One column per WallRecord field, in field order, so the CSV and
+	// JSON releases publish the same facts.
 	if err := cw.Write([]string{
 		"domain", "tld", "language", "category", "embedding",
-		"shadow_mode", "price_eur_month", "corpus_words", "provider",
+		"shadow_mode", "price_eur_month", "corpus_words",
+		"has_accept", "has_subscribe", "provider", "toplists",
 	}); err != nil {
 		return err
 	}
 	for _, rec := range ds.Walls {
-		words := ""
-		for i, wd := range rec.Words {
-			if i > 0 {
-				words += ";"
-			}
-			words += wd
-		}
 		if err := cw.Write([]string{
 			rec.Domain, rec.TLD, rec.Language, rec.Category, rec.Embedding,
 			rec.ShadowMode, strconv.FormatFloat(rec.PriceEUR, 'f', 4, 64),
-			words, rec.Provider,
+			strings.Join(rec.Words, ";"),
+			strconv.FormatBool(rec.HasAccept), strconv.FormatBool(rec.HasSub),
+			rec.Provider, strings.Join(rec.OnToplists, ";"),
 		}); err != nil {
 			return err
 		}

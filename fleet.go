@@ -1,0 +1,110 @@
+package cookiewalk
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"cookiewalk/internal/campaign/dist"
+)
+
+// Distributed campaigns. A Study can run its landscape crawl — the
+// 45k-sites-×-8-vantage-points bulk of the workload — across a fleet:
+// one coordinator process serves shard-range leases over HTTP
+// (NewFleetCoordinator), any number of worker processes claim leases,
+// crawl their ranges and ship the resulting shard journals back
+// (RunFleetWorker), and when every range has merged the coordinator
+// replays the assembled journals through the ordinary Resume path.
+// Because every worker generates the same universe from the same seed
+// and visits are deterministic, the assembled Report(ExpAll) is
+// byte-identical to a single-machine run's — even when workers crash
+// mid-lease and their ranges are re-crawled elsewhere (see
+// internal/campaign/dist for the lease/TTL/fencing protocol).
+//
+//	# terminal 1 — coordinator (assembles into -checkpoint, then reports)
+//	cookiewalk -seed 42 -checkpoint /tmp/cw -serve :8440
+//	# terminals 2..N — workers (same seed/scale!)
+//	cookiewalk -seed 42 -worker http://coordinator:8440
+
+// FleetCoordinator serves a study's landscape campaigns as leases and
+// assembles worker-shipped journals into the study's checkpoint
+// directory. Create with Study.NewFleetCoordinator, expose Handler()
+// on an HTTP server, then Wait() before asking the study for reports.
+type FleetCoordinator struct {
+	co *dist.Coordinator
+}
+
+// NewFleetCoordinator prepares a coordinator for this study's
+// landscape campaigns. Config.CheckpointDir is required — it is the
+// assembly target, laid out exactly as local checkpointing lays it
+// out, so the post-merge report replays it natively (set
+// Config.Resume on the study that will render reports).
+func (s *Study) NewFleetCoordinator(logf func(format string, args ...any)) (*FleetCoordinator, error) {
+	if s.cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("cookiewalk: fleet coordinator requires Config.CheckpointDir")
+	}
+	co, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		Dir:   s.cfg.CheckpointDir,
+		Specs: s.crawler.LandscapeSpecs(s.Targets()),
+		TTL:   s.cfg.LeaseTTL,
+		Logf:  logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cookiewalk: fleet coordinator: %w", err)
+	}
+	return &FleetCoordinator{co: co}, nil
+}
+
+// Handler returns the coordinator's HTTP API (mount it on a server of
+// your choosing).
+func (fc *FleetCoordinator) Handler() http.Handler { return fc.co.Handler() }
+
+// Wait blocks until every shard range of every campaign has been
+// shipped and merged, or ctx is canceled.
+func (fc *FleetCoordinator) Wait(ctx context.Context) error { return fc.co.Wait(ctx) }
+
+// Status snapshots the coordinator's lease ledger.
+func (fc *FleetCoordinator) Status() dist.Status { return fc.co.Status() }
+
+// RunFleetWorker joins the fleet at coordinatorURL as a worker: it
+// verifies the coordinator is distributing THIS study's campaigns
+// (same labels, target count and targets hash — i.e. the same seed and
+// scale), then leases, crawls and ships shard ranges until every range
+// has merged. name identifies the worker in coordinator logs; logf
+// (optional) receives worker progress. The returned error is nil on
+// normal fleet completion.
+func (s *Study) RunFleetWorker(ctx context.Context, coordinatorURL, name string, logf func(format string, args ...any)) error {
+	client := &dist.Client{BaseURL: coordinatorURL}
+	specs, err := client.Campaigns(ctx)
+	if err != nil {
+		return fmt.Errorf("cookiewalk: fleet worker: %w", err)
+	}
+	targets := s.Targets()
+	local := make(map[string]dist.Spec, len(specs))
+	for _, spec := range s.crawler.LandscapeSpecs(targets) {
+		local[spec.Label] = spec
+	}
+	for _, remote := range specs {
+		want, ok := local[remote.Label]
+		if !ok {
+			return fmt.Errorf("cookiewalk: fleet worker: coordinator distributes unknown campaign %q", remote.Label)
+		}
+		// Shard count deliberately unchecked: leases carry explicit
+		// ranges, so a coordinator partitioned differently still hands
+		// out ranges this worker can run verbatim.
+		if remote.Targets != want.Targets || remote.TargetsHash != want.TargetsHash {
+			return fmt.Errorf(
+				"cookiewalk: fleet worker: campaign %q is a different universe (coordinator: %d targets hash %#x; local: %d targets hash %#x) — seed/scale mismatch?",
+				remote.Label, remote.Targets, remote.TargetsHash, want.Targets, want.TargetsHash)
+		}
+	}
+	w := &dist.Worker{
+		Client: client,
+		Name:   name,
+		Logf:   logf,
+		Runner: func(ctx context.Context, lease dist.Lease, dir string) (string, error) {
+			return s.crawler.RunLandscapeLease(ctx, lease, targets, dir)
+		},
+	}
+	return w.Run(ctx)
+}

@@ -266,8 +266,7 @@ func run[T, R any](ctx context.Context, cfg Config, targets []T,
 	stats := Stats{Targets: len(targets)}
 	total := int64(len(targets))
 	for shard := 0; shard < nShards; shard++ {
-		lo := shard * len(targets) / nShards
-		hi := (shard + 1) * len(targets) / nShards
+		lo, hi := ShardRange(len(targets), nShards, shard)
 		if ctx.Err() != nil {
 			// Campaign cut short: account the remaining shards without
 			// spinning up their pools. Progress consumers still see each

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -63,6 +64,34 @@ type manifest struct {
 	Label       string `json:"label"`
 	Targets     int    `json:"targets"`
 	TargetsHash uint64 `json:"targets_hash"`
+}
+
+// PathLabel renders a campaign label as a filesystem-safe checkpoint
+// subdirectory component ("landscape US East" → "landscape-us-east").
+// Every layer that maps labels to journal directories — the study's
+// per-experiment checkpointing and the fleet coordinator's journal
+// assembly — must agree on this mapping, so it lives here.
+func PathLabel(label string) string {
+	return strings.ToLower(strings.ReplaceAll(label, " ", "-"))
+}
+
+// InitCheckpointDir prepares dir as the checkpoint directory of the
+// given campaign identity: creates it, wipes journals left by any
+// prior run, and writes the manifest — exactly the state a fresh
+// checkpointed Run establishes before its first delivery. The fleet
+// coordinator uses it to assemble worker-shipped shard journals into a
+// directory Resume accepts as this campaign's own, so the PR-4
+// manifest guard covers distributed merges too: a journal can never
+// replay into a campaign with a different label, target count or
+// targets hash.
+func InitCheckpointDir(dir, label string, targets int, targetsHash uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("campaign: checkpoint dir: %w", err)
+	}
+	if err := removeJournals(dir); err != nil {
+		return fmt.Errorf("campaign: reset checkpoint dir: %w", err)
+	}
+	return writeManifest(dir, manifest{Label: label, Targets: targets, TargetsHash: targetsHash})
 }
 
 // HashTargets folds a string target list into a stable identity hash

@@ -1,0 +1,323 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"cookiewalk/internal/campaign"
+)
+
+// CoordinatorConfig configures a fleet coordinator.
+type CoordinatorConfig struct {
+	// Dir is the assembly root: each campaign's shipped journals land
+	// in Dir/<campaign.PathLabel(label)>, the exact directory layout the
+	// study's own checkpointing uses, so the merged result is directly
+	// resumable.
+	Dir string
+	// Specs are the campaigns to distribute, in lease order.
+	Specs []Spec
+	// TTL is the lease lifetime (default 30s). A lease not heartbeated
+	// within TTL is revoked and its range re-leased.
+	TTL time.Duration
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// unit is one leasable shard range of one campaign and its lifecycle:
+// pending → leased (→ pending again on expiry) → done.
+type unit struct {
+	spec     Spec
+	shard    int
+	lo, hi   int
+	dir      string // assembly dir of the unit's campaign
+	done     bool
+	lease    string // current lease ID, "" when pending or done
+	worker   string
+	deadline time.Time
+}
+
+// Coordinator owns the unit ledger and the assembly directories. All
+// state transitions happen under mu; journal bytes are validated and
+// written outside the lock, with the lease re-verified before the
+// final rename is made visible.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	ttl time.Duration
+
+	mu      sync.Mutex
+	units   []*unit
+	leases  map[string]*unit
+	seq     int
+	pending int
+	expired int
+	doneCh  chan struct{} // closed when every unit is done
+}
+
+// NewCoordinator prepares the assembly directories (one per campaign,
+// manifest written, stale journals wiped — see campaign.InitCheckpointDir)
+// and builds the lease ledger: one unit per shard range of every spec,
+// partitioned exactly as a single-machine Run would partition it.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("dist: coordinator needs an assembly dir")
+	}
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("dist: coordinator needs at least one campaign spec")
+	}
+	ttl := cfg.TTL
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	co := &Coordinator{
+		cfg:    cfg,
+		ttl:    ttl,
+		leases: make(map[string]*unit),
+		doneCh: make(chan struct{}),
+	}
+	seen := make(map[string]bool, len(cfg.Specs))
+	for _, spec := range cfg.Specs {
+		if spec.Label == "" || spec.Targets <= 0 || spec.Shards <= 0 {
+			return nil, fmt.Errorf("dist: invalid spec %+v", spec)
+		}
+		dir := filepath.Join(cfg.Dir, campaign.PathLabel(spec.Label))
+		if seen[dir] {
+			return nil, fmt.Errorf("dist: campaign %q: assembly dir %s already claimed by another spec", spec.Label, dir)
+		}
+		seen[dir] = true
+		if err := campaign.InitCheckpointDir(dir, spec.Label, spec.Targets, spec.TargetsHash); err != nil {
+			return nil, fmt.Errorf("dist: campaign %q: %w", spec.Label, err)
+		}
+		for s := 0; s < spec.Shards; s++ {
+			lo, hi := campaign.ShardRange(spec.Targets, spec.Shards, s)
+			co.units = append(co.units, &unit{spec: spec, shard: s, lo: lo, hi: hi, dir: dir})
+		}
+	}
+	co.pending = len(co.units)
+	return co, nil
+}
+
+func (co *Coordinator) now() time.Time {
+	if co.cfg.Now != nil {
+		return co.cfg.Now()
+	}
+	return time.Now()
+}
+
+func (co *Coordinator) logf(format string, args ...any) {
+	if co.cfg.Logf != nil {
+		co.cfg.Logf(format, args...)
+	}
+}
+
+// expireLocked revokes every lease past its deadline, returning the
+// ranges to the pending queue. Called under mu at the top of every
+// state-touching request — the coordinator needs no background timer.
+func (co *Coordinator) expireLocked(now time.Time) {
+	for id, u := range co.leases {
+		if now.After(u.deadline) {
+			delete(co.leases, id)
+			co.logf("dist: lease %s expired (%s shard %d [%d,%d) worker %s) — re-leasing",
+				id, u.spec.Label, u.shard, u.lo, u.hi, u.worker)
+			u.lease, u.worker = "", ""
+			co.expired++
+			co.pending++
+		}
+	}
+}
+
+// grantLocked hands out the first pending unit, in ledger order.
+func (co *Coordinator) grantLocked(worker string, now time.Time) *Lease {
+	for _, u := range co.units {
+		if u.done || u.lease != "" {
+			continue
+		}
+		co.seq++
+		id := fmt.Sprintf("L%06d", co.seq)
+		u.lease, u.worker, u.deadline = id, worker, now.Add(co.ttl)
+		co.leases[id] = u
+		co.pending--
+		co.logf("dist: leased %s shard %d [%d,%d) to %s as %s", u.spec.Label, u.shard, u.lo, u.hi, worker, id)
+		return &Lease{
+			ID: id, Label: u.spec.Label,
+			Shard: u.shard, Shards: u.spec.Shards, Lo: u.lo, Hi: u.hi,
+			Targets: u.spec.Targets, TargetsHash: u.spec.TargetsHash,
+			TTLMillis: co.ttl.Milliseconds(),
+		}
+	}
+	return nil
+}
+
+// allDoneLocked reports whether every unit has merged.
+func (co *Coordinator) allDoneLocked() bool {
+	for _, u := range co.units {
+		if !u.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Status snapshots the ledger counters (after an expiry sweep).
+func (co *Coordinator) Status() Status {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.expireLocked(co.now())
+	st := Status{Units: len(co.units), Pending: co.pending, Leased: len(co.leases), Expired: co.expired}
+	st.Done = st.Units - st.Pending - st.Leased
+	return st
+}
+
+// Wait blocks until every shard range of every campaign has been
+// shipped and merged, or ctx is canceled.
+func (co *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-co.doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler returns the coordinator's HTTP API.
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/campaigns", co.handleCampaigns)
+	mux.HandleFunc("POST /v1/lease", co.handleLease)
+	mux.HandleFunc("POST /v1/heartbeat", co.handleHeartbeat)
+	mux.HandleFunc("PUT /v1/journal", co.handleJournal)
+	mux.HandleFunc("GET /v1/status", co.handleStatus)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (co *Coordinator) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, campaignsReply{TTLMillis: co.ttl.Milliseconds(), Campaigns: co.cfg.Specs})
+}
+
+func (co *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, co.Status())
+}
+
+func (co *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad lease request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	now := co.now()
+	co.expireLocked(now)
+	if co.allDoneLocked() {
+		writeJSON(w, http.StatusOK, leaseReply{Status: "done"})
+		return
+	}
+	if l := co.grantLocked(req.Worker, now); l != nil {
+		writeJSON(w, http.StatusOK, leaseReply{Status: "lease", Lease: l})
+		return
+	}
+	// Everything outstanding is leased to someone: ask again after a
+	// fraction of the TTL, by which time a dead worker's lease expires.
+	writeJSON(w, http.StatusOK, leaseReply{Status: "wait", RetryMS: max(co.ttl.Milliseconds()/4, 10)})
+}
+
+func (co *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad heartbeat: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	now := co.now()
+	co.expireLocked(now)
+	u, ok := co.leases[req.LeaseID]
+	if !ok {
+		http.Error(w, "lease expired or unknown", http.StatusGone)
+		return
+	}
+	u.deadline = now.Add(co.ttl)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (co *Coordinator) handleJournal(w http.ResponseWriter, r *http.Request) {
+	leaseID := r.URL.Query().Get("lease")
+	if leaseID == "" {
+		http.Error(w, "missing lease parameter", http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read journal: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Snapshot the unit under the lock, then validate and stage the
+	// bytes outside it — CheckJournal walks every frame and must not
+	// stall lease traffic.
+	co.mu.Lock()
+	co.expireLocked(co.now())
+	u, ok := co.leases[leaseID]
+	if !ok {
+		co.mu.Unlock()
+		http.Error(w, "lease expired or unknown", http.StatusGone)
+		return
+	}
+	shard, lo, hi, dir, label := u.shard, u.lo, u.hi, u.dir, u.spec.Label
+	co.mu.Unlock()
+
+	if err := campaign.CheckJournal(data, lo, hi); err != nil {
+		http.Error(w, "journal rejected: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	final := filepath.Join(dir, campaign.ShardFilename(shard))
+	tmp := final + ".tmp-" + leaseID
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		http.Error(w, "stage journal: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	// Re-verify the lease before publishing: if it expired during
+	// validation the range belongs to someone else now.
+	co.mu.Lock()
+	co.expireLocked(co.now())
+	if cur, ok := co.leases[leaseID]; !ok || cur != u {
+		co.mu.Unlock()
+		os.Remove(tmp)
+		http.Error(w, "lease expired or unknown", http.StatusGone)
+		return
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		co.mu.Unlock()
+		os.Remove(tmp)
+		http.Error(w, "merge journal: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	delete(co.leases, leaseID)
+	u.done, u.lease = true, ""
+	finished := co.allDoneLocked()
+	co.mu.Unlock()
+
+	co.logf("dist: merged %s shard %d [%d,%d) from lease %s (%d bytes)", label, shard, lo, hi, leaseID, len(data))
+	w.WriteHeader(http.StatusOK)
+	if finished {
+		// Only the request that merged the LAST unit sees finished ==
+		// true (done flips are monotonic under mu), so this close runs
+		// exactly once.
+		close(co.doneCh)
+	}
+}

@@ -1,0 +1,272 @@
+// Package dist distributes campaigns across machines on top of the
+// journal substrate: a coordinator serves shard-range leases over
+// HTTP, workers claim a lease, run the range through campaign.RunRange
+// with a local checkpoint journal, and ship the finished journal back;
+// the coordinator validates each shipment and assembles it into a
+// standard checkpoint directory that campaign.Resume replays into a
+// byte-identical single-machine result.
+//
+// The protocol is deliberately thin — four JSON/bytes endpoints:
+//
+//	GET  /v1/campaigns               campaign identities (label, size, hash, shards)
+//	POST /v1/lease                   claim the next pending shard range
+//	POST /v1/heartbeat               keep a lease alive
+//	PUT  /v1/journal?lease=ID        ship a finished shard journal
+//	GET  /v1/status                  coordinator counters
+//
+// Robustness model. A lease carries a TTL; workers heartbeat at TTL/3
+// while crawling, and a worker silent past the TTL is presumed dead —
+// its range returns to the pending queue and is re-leased to the next
+// asker. Lease IDs fence: once a lease expires, its heartbeats and
+// journal uploads are refused (HTTP 410), so a worker that was merely
+// slow can never complete a range that has been re-leased out from
+// under it. Shipped journals are validated frame by frame
+// (campaign.CheckJournal: checksums intact, complete in-order coverage
+// of exactly the leased range) before the atomic rename into the
+// assembly directory, and the assembled directory carries the PR-4
+// manifest identity guard (campaign.InitCheckpointDir), so a journal
+// can never merge into — or later replay onto — the wrong campaign.
+//
+// Determinism. Visits are pure functions of the universe seed, so a
+// range journal has identical bytes no matter which worker produced it
+// or how often a range was re-leased; the merge replays records in
+// global index order through the existing Resume path, making the
+// assembled report byte-identical to an uninterrupted local run's.
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Spec describes one distributable campaign: enough identity for a
+// worker to verify it is crawling the same universe the coordinator is
+// assembling (label + target count + campaign.HashTargets), plus the
+// shard partitioning the coordinator leases out.
+type Spec struct {
+	Label       string `json:"label"`
+	Targets     int    `json:"targets"`
+	TargetsHash uint64 `json:"targets_hash"`
+	Shards      int    `json:"shards"`
+}
+
+// Lease is one granted shard range: campaign identity, the global
+// [Lo, Hi) target range to run as shard Shard of Shards, and the TTL
+// the worker must heartbeat within.
+type Lease struct {
+	ID          string `json:"id"`
+	Label       string `json:"label"`
+	Shard       int    `json:"shard"`
+	Shards      int    `json:"shards"`
+	Lo          int    `json:"lo"`
+	Hi          int    `json:"hi"`
+	Targets     int    `json:"targets"`
+	TargetsHash uint64 `json:"targets_hash"`
+	TTLMillis   int64  `json:"ttl_ms"`
+}
+
+// TTL returns the lease's lifetime as a duration.
+func (l Lease) TTL() time.Duration { return time.Duration(l.TTLMillis) * time.Millisecond }
+
+// Status is a point-in-time snapshot of coordinator state.
+type Status struct {
+	Units   int `json:"units"`
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	Done    int `json:"done"`
+	// Expired counts leases revoked after missing their TTL; each
+	// revocation put its shard range back in the pending queue.
+	Expired int `json:"expired"`
+}
+
+// Wire messages.
+type campaignsReply struct {
+	TTLMillis int64  `json:"ttl_ms"`
+	Campaigns []Spec `json:"campaigns"`
+}
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type leaseReply struct {
+	Status  string `json:"status"` // "lease", "wait" or "done"
+	Lease   *Lease `json:"lease,omitempty"`
+	RetryMS int64  `json:"retry_ms,omitempty"`
+}
+
+type heartbeatRequest struct {
+	LeaseID string `json:"lease_id"`
+}
+
+// LeaseReply is a worker-facing lease response: either a granted
+// Lease, a Done campaign, or neither (every range currently leased —
+// retry after Retry).
+type LeaseReply struct {
+	Done  bool
+	Retry time.Duration
+	Lease *Lease
+}
+
+// ErrLeaseLost reports a heartbeat or journal upload refused because
+// the lease expired and its range went back to the pending queue (the
+// coordinator's 410) — the worker holding it must abandon the range.
+var ErrLeaseLost = errors.New("dist: lease lost (expired and re-leased)")
+
+// Client speaks the coordinator protocol, transparently retrying
+// transient failures (network errors, 5xx) with bounded exponential
+// backoff. Definitive answers — a lease, a 410 fence, a validation
+// reject — are never retried.
+type Client struct {
+	// BaseURL locates the coordinator ("http://host:port").
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds retries of transient failures per call
+	// (default 4).
+	MaxRetries int
+	// Backoff is the initial retry delay, doubled per attempt and
+	// capped at 2s (default 100ms).
+	Backoff time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request with bounded-backoff retries of transient
+// failures and returns the final response body and status code.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) ([]byte, int, error) {
+	maxRetries := c.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 4
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, 0, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err == nil {
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode < 500 {
+				return data, resp.StatusCode, nil
+			}
+			if rerr != nil {
+				lastErr = fmt.Errorf("%s %s: read response: %w", method, path, rerr)
+			} else {
+				lastErr = fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, bytes.TrimSpace(data))
+			}
+		} else {
+			lastErr = err
+		}
+		if attempt >= maxRetries {
+			return nil, 0, lastErr
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, 0, context.Cause(ctx)
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// Campaigns fetches the coordinator's campaign specs — the worker-side
+// identity check before any lease is claimed.
+func (c *Client) Campaigns(ctx context.Context) ([]Spec, error) {
+	data, code, err := c.do(ctx, http.MethodGet, "/v1/campaigns", "", nil)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("dist: campaigns: status %d: %s", code, bytes.TrimSpace(data))
+	}
+	var reply campaignsReply
+	if err := json.Unmarshal(data, &reply); err != nil {
+		return nil, fmt.Errorf("dist: campaigns: %w", err)
+	}
+	return reply.Campaigns, nil
+}
+
+// Lease asks for the next pending shard range.
+func (c *Client) Lease(ctx context.Context, worker string) (LeaseReply, error) {
+	body, _ := json.Marshal(leaseRequest{Worker: worker})
+	data, code, err := c.do(ctx, http.MethodPost, "/v1/lease", "application/json", body)
+	if err != nil {
+		return LeaseReply{}, err
+	}
+	if code != http.StatusOK {
+		return LeaseReply{}, fmt.Errorf("dist: lease: status %d: %s", code, bytes.TrimSpace(data))
+	}
+	var reply leaseReply
+	if err := json.Unmarshal(data, &reply); err != nil {
+		return LeaseReply{}, fmt.Errorf("dist: lease: %w", err)
+	}
+	switch reply.Status {
+	case "done":
+		return LeaseReply{Done: true}, nil
+	case "wait":
+		return LeaseReply{Retry: time.Duration(reply.RetryMS) * time.Millisecond}, nil
+	case "lease":
+		if reply.Lease == nil {
+			return LeaseReply{}, fmt.Errorf("dist: lease: reply carries no lease")
+		}
+		return LeaseReply{Lease: reply.Lease}, nil
+	}
+	return LeaseReply{}, fmt.Errorf("dist: lease: unknown status %q", reply.Status)
+}
+
+// Heartbeat extends a lease's deadline; ErrLeaseLost means the lease
+// expired and the range was (or will be) re-leased — abandon it.
+func (c *Client) Heartbeat(ctx context.Context, leaseID string) error {
+	body, _ := json.Marshal(heartbeatRequest{LeaseID: leaseID})
+	data, code, err := c.do(ctx, http.MethodPost, "/v1/heartbeat", "application/json", body)
+	if err != nil {
+		return err
+	}
+	switch code {
+	case http.StatusOK:
+		return nil
+	case http.StatusGone:
+		return fmt.Errorf("dist: heartbeat %s: %w", leaseID, ErrLeaseLost)
+	}
+	return fmt.Errorf("dist: heartbeat %s: status %d: %s", leaseID, code, bytes.TrimSpace(data))
+}
+
+// ShipJournal uploads a finished shard journal. ErrLeaseLost means the
+// range was re-leased (or already completed by its new holder) — the
+// upload was refused and the worker should move on.
+func (c *Client) ShipJournal(ctx context.Context, leaseID string, journal []byte) error {
+	data, code, err := c.do(ctx, http.MethodPut, "/v1/journal?lease="+leaseID, "application/octet-stream", journal)
+	if err != nil {
+		return err
+	}
+	switch code {
+	case http.StatusOK:
+		return nil
+	case http.StatusGone:
+		return fmt.Errorf("dist: ship journal %s: %w", leaseID, ErrLeaseLost)
+	}
+	return fmt.Errorf("dist: ship journal %s: status %d: %s", leaseID, code, bytes.TrimSpace(data))
+}

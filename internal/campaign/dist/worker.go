@@ -1,0 +1,152 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Worker is the fleet client loop: lease a shard range, run it through
+// the Runner (which produces a finished shard journal on local disk),
+// ship the journal back, repeat until the coordinator reports every
+// range merged. Heartbeats run concurrently with the Runner at TTL/3;
+// a fenced lease (the coordinator revoked it after a missed TTL)
+// cancels the in-flight Runner and the range is dropped without error —
+// some other worker owns it now.
+type Worker struct {
+	// Client reaches the coordinator. Required.
+	Client *Client
+	// Name identifies this worker in coordinator logs.
+	Name string
+	// Runner executes one leased range: it must run the lease's global
+	// [Lo, Hi) targets as shard Lease.Shard with a checkpoint journal
+	// under dir, and return the path of the finished journal file.
+	// Required.
+	Runner func(ctx context.Context, lease Lease, dir string) (string, error)
+	// ScratchDir is where per-lease working directories are created
+	// (default: the OS temp dir).
+	ScratchDir string
+	// Poll is the fallback wait when the coordinator says "wait"
+	// without a retry hint (default 500ms).
+	Poll time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run loops until the coordinator's campaigns are fully merged or ctx
+// is canceled. Lost leases are not errors; Runner failures are.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Client == nil || w.Runner == nil {
+		return fmt.Errorf("dist: worker needs Client and Runner")
+	}
+	for {
+		reply, err := w.Client.Lease(ctx, w.Name)
+		if err != nil {
+			return fmt.Errorf("dist: worker %s: %w", w.Name, err)
+		}
+		switch {
+		case reply.Done:
+			w.logf("dist: worker %s: all ranges merged, exiting", w.Name)
+			return nil
+		case reply.Lease == nil:
+			wait := reply.Retry
+			if wait <= 0 {
+				if wait = w.Poll; wait <= 0 {
+					wait = 500 * time.Millisecond
+				}
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return context.Cause(ctx)
+			}
+		default:
+			if err := w.runLease(ctx, *reply.Lease); err != nil {
+				return fmt.Errorf("dist: worker %s: %w", w.Name, err)
+			}
+		}
+	}
+}
+
+// runLease executes one leased range end to end: scratch dir, Runner
+// under a heartbeat, then journal shipping. A lease lost at any stage
+// abandons the range silently.
+func (w *Worker) runLease(ctx context.Context, lease Lease) error {
+	dir, err := os.MkdirTemp(w.ScratchDir, "cookiewalk-lease-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	w.logf("dist: worker %s: running %s shard %d [%d,%d) under lease %s",
+		w.Name, lease.Label, lease.Shard, lease.Lo, lease.Hi, lease.ID)
+
+	// The heartbeat goroutine keeps the lease alive through both the
+	// crawl and the upload, and cancels the lease context the moment
+	// the coordinator fences us off.
+	leaseCtx, cancel := context.WithCancelCause(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		interval := lease.TTL() / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-leaseCtx.Done():
+				return
+			case <-tick.C:
+				if err := w.Client.Heartbeat(leaseCtx, lease.ID); err != nil {
+					if errors.Is(err, ErrLeaseLost) {
+						cancel(ErrLeaseLost)
+						return
+					}
+					// Transient heartbeat failures (after the client's own
+					// retries) are survivable as long as one lands within
+					// the TTL; keep ticking.
+					w.logf("dist: worker %s: heartbeat %s: %v", w.Name, lease.ID, err)
+				}
+			}
+		}
+	}()
+	stopHeartbeat := func() {
+		cancel(nil)
+		<-hbDone
+	}
+
+	journalPath, err := w.Runner(leaseCtx, lease, dir)
+	if err != nil {
+		stopHeartbeat()
+		if errors.Is(err, ErrLeaseLost) || errors.Is(context.Cause(leaseCtx), ErrLeaseLost) {
+			w.logf("dist: worker %s: lease %s lost mid-run, dropping range", w.Name, lease.ID)
+			return nil
+		}
+		return err
+	}
+	data, err := os.ReadFile(journalPath)
+	if err != nil {
+		stopHeartbeat()
+		return err
+	}
+	err = w.Client.ShipJournal(leaseCtx, lease.ID, data)
+	stopHeartbeat()
+	switch {
+	case err == nil:
+		w.logf("dist: worker %s: shipped %s shard %d (%d bytes)", w.Name, lease.Label, lease.Shard, len(data))
+		return nil
+	case errors.Is(err, ErrLeaseLost) || errors.Is(context.Cause(leaseCtx), ErrLeaseLost):
+		w.logf("dist: worker %s: lease %s lost before shipping, dropping range", w.Name, lease.ID)
+		return nil
+	}
+	return err
+}

@@ -74,11 +74,51 @@ func appendString(dst []byte, s string) []byte {
 	return append(dst, s...)
 }
 
+// ShardFilename returns the journal file name of shard s inside a
+// checkpoint directory ("shard-0003.cwj") — shared by the engine's
+// writers and the fleet layer's journal shipping, so a worker-produced
+// range journal lands under exactly the name a local run would use.
+func ShardFilename(s int) string {
+	return fmt.Sprintf("shard-%04d.cwj", s)
+}
+
 // shardFile names shard s's journal inside a checkpoint dir. Loading
 // never relies on the name — records are self-describing — so resumes
 // with a different shard count interoperate with existing files.
 func shardFile(dir string, shard int) string {
-	return filepath.Join(dir, fmt.Sprintf("shard-%04d.cwj", shard))
+	return filepath.Join(dir, ShardFilename(shard))
+}
+
+// CheckJournal verifies that data is a COMPLETE, well-formed journal of
+// the global target range [lo, hi): intact magic, every frame valid
+// with no trailing bytes, and record indices exactly lo..hi-1 in
+// delivery order. The fleet coordinator runs it on every shipped shard
+// journal before merging, so a torn upload, a half-finished range or a
+// journal from the wrong range can never poison an assembled campaign.
+func CheckJournal(data []byte, lo, hi int) error {
+	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != journalMagic {
+		return fmt.Errorf("campaign: journal missing magic header")
+	}
+	next, firstBad := lo, -1
+	records, valid := scanJournal(data, func(index int, rec journalRecord) {
+		if index != next && firstBad < 0 {
+			firstBad = index
+		}
+		next++
+	})
+	if valid == 0 {
+		valid = len(journalMagic) // magic-only file: scanJournal reports offset 0
+	}
+	if valid != len(data) {
+		return fmt.Errorf("campaign: journal invalid after %d of %d bytes (%d valid records)", valid, len(data), records)
+	}
+	if firstBad >= 0 {
+		return fmt.Errorf("campaign: journal out of order: saw index %d where %d..%d expected in sequence", firstBad, lo, hi-1)
+	}
+	if records != hi-lo {
+		return fmt.Errorf("campaign: journal covers %d of %d records for range [%d,%d)", records, hi-lo, lo, hi)
+	}
+	return nil
 }
 
 // journalWriter appends framed records to one shard's journal file,

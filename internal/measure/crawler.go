@@ -115,7 +115,7 @@ func runExperimentCampaign[R any](ctx context.Context, c *Crawler, label string,
 	run := campaign.Run[string, R]
 	if c.CheckpointDir != "" && codec != nil {
 		cfg.Checkpoint = &campaign.Checkpoint{
-			Dir:         filepath.Join(c.CheckpointDir, pathLabel(label)),
+			Dir:         filepath.Join(c.CheckpointDir, campaign.PathLabel(label)),
 			Codec:       codec,
 			TargetsHash: campaign.HashTargets(targets),
 		}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"sort"
-	"strings"
 	"sync"
 
 	"cookiewalk/internal/campaign"
@@ -13,12 +12,6 @@ import (
 	"cookiewalk/internal/vantage"
 	"cookiewalk/internal/xrand"
 )
-
-// pathLabel renders a vantage-point name as a filesystem-safe
-// checkpoint subdirectory component ("US East" → "us-east").
-func pathLabel(name string) string {
-	return strings.ToLower(strings.ReplaceAll(name, " ", "-"))
-}
 
 // VPResult aggregates one vantage point's crawl over the target list.
 type VPResult struct {
@@ -92,7 +85,7 @@ func (c *Crawler) Landscape(ctx context.Context, vps []vantage.VP, targets []str
 	for _, vp := range vps {
 		vp := vp
 		res := VPResult{VP: vp.Name}
-		stats, err := runExperimentCampaign(ctx, c, "landscape "+vp.Name, ObservationCodec{}, targets,
+		stats, err := runExperimentCampaign(ctx, c, landscapeLabel(vp), ObservationCodec{}, targets,
 			func(_ context.Context, domain string) (Observation, error) {
 				o := c.Visit(vp, domain, VisitOpts{})
 				if o.Err != "" {
