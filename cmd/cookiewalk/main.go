@@ -31,6 +31,14 @@
 //	cookiewalk -exp all -checkpoint /tmp/ck -serve :8440
 //	cookiewalk -worker http://coordinator:8440    # on each worker box
 //
+//	# The coordinator itself is crash-safe: its lease ledger persists
+//	# under -checkpoint, so after a crash (or a graceful ^C) the same
+//	# command resumes the fleet — merged ranges stay merged, workers
+//	# reconnect on their own. On untrusted networks set a shared
+//	# -fleet-token on both sides.
+//	cookiewalk -exp all -checkpoint /tmp/ck -serve :8440 -fleet-token S3CRET
+//	cookiewalk -worker http://coordinator:8440 -fleet-token S3CRET
+//
 // Scale 1 (default) reproduces the full 45 222-target universe; the
 // eight-VP crawl then takes tens of seconds. Smaller scales keep every
 // cookiewall-related number identical and shrink only the filler web.
@@ -44,7 +52,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"cookiewalk"
@@ -69,6 +79,7 @@ func main() {
 		serve      = flag.String("serve", "", "coordinator mode: serve landscape shard-range leases on this address, assemble shipped journals under -checkpoint, then report")
 		workerURL  = flag.String("worker", "", "worker mode: lease, crawl and ship landscape shard ranges from the coordinator at this URL (no report)")
 		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "coordinator lease TTL: a worker silent this long is presumed dead and its range re-leased")
+		fleetToken = flag.String("fleet-token", "", "shared fleet secret: -serve refuses requests without it, -worker sends it (empty = no auth; set the same value on both sides)")
 	)
 	flag.Parse()
 
@@ -109,6 +120,7 @@ func main() {
 		CheckpointDir: *checkpoint, Resume: *resume,
 		ExperimentParallelism: *jobs,
 		LeaseTTL:              *leaseTTL,
+		FleetToken:            *fleetToken,
 	}
 	if *serve != "" {
 		// The post-merge report must replay the assembled journals
@@ -234,6 +246,12 @@ func printShardAccounting(study *cookiewalk.Study) {
 // The returned stop func closes the HTTP server; it is left serving
 // until then so that workers polling for more work hear "done" and
 // exit cleanly instead of finding the port closed mid-poll.
+//
+// SIGINT/SIGTERM shuts the coordinator down gracefully instead of
+// dying mid-write: lease granting stops (workers see 503 and keep
+// polling), the lease ledger is fsynced and closed, and the process
+// exits nonzero with a reminder that the same -checkpoint resumes the
+// fleet exactly where it stopped.
 func serveFleet(study *cookiewalk.Study, addr string) (stop func()) {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -251,13 +269,31 @@ func serveFleet(study *cookiewalk.Study, addr string) (stop func()) {
 	srv := &http.Server{Handler: fc.Handler()}
 	go srv.Serve(ln)
 	fmt.Fprintf(os.Stderr, "coordinator listening on %s, waiting for workers...\n", ln.Addr())
-	if err := fc.Wait(context.Background()); err != nil {
+
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if err := fc.Wait(sigCtx); err != nil {
+		if sigCtx.Err() != nil {
+			st := fc.Status()
+			fmt.Fprintf(os.Stderr, "\nsignal received: stopping lease grants and syncing the lease ledger (%d of %d ranges merged)...\n",
+				st.Done, st.Units)
+			if cerr := fc.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "ledger close:", cerr)
+			}
+			srv.Close()
+			fmt.Fprintln(os.Stderr, "coordinator stopped cleanly — resume with the same -checkpoint to continue the fleet where it left off")
+			os.Exit(3)
+		}
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 	st := fc.Status()
 	fmt.Fprintf(os.Stderr, "fleet complete: %d shard ranges merged (%d lease expiries along the way)\n",
 		st.Done, st.Expired)
+	if st.Recovered > 0 {
+		fmt.Fprintf(os.Stderr, "  resumed fleet: %d ranges were recovered from a previous coordinator (incarnation %d)\n",
+			st.Recovered, st.Incarnation)
+	}
 	return func() { srv.Close() }
 }
 

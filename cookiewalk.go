@@ -134,6 +134,14 @@ type Config struct {
 	// coordinator mode; it never affects results, only how quickly a
 	// lost worker's range is handed to someone else.
 	LeaseTTL time.Duration
+	// FleetToken, when set, locks the fleet protocol behind a shared
+	// secret: the coordinator refuses requests without a matching
+	// "Authorization: Bearer" header (constant-time compare, HTTP 401),
+	// and workers send it on every request. Both sides of a fleet must
+	// configure the same token — a 401 is definitive, so a
+	// wrong-tokened worker exits instead of retrying forever. Empty
+	// disables auth (trusted networks only).
+	FleetToken string
 	// ExperimentParallelism bounds how many experiment DAG nodes (and
 	// therefore independent campaigns) run concurrently during
 	// Report/ReportContext (default 1: experiments run one after

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"time"
 
 	"cookiewalk/internal/campaign/dist"
+	"cookiewalk/internal/xrand"
 )
 
 // Distributed campaigns. A Study can run its landscape crawl — the
@@ -20,6 +22,13 @@ import (
 // byte-identical to a single-machine run's — even when workers crash
 // mid-lease and their ranges are re-crawled elsewhere (see
 // internal/campaign/dist for the lease/TTL/fencing protocol).
+//
+// The coordinator is itself restartable: its lease ledger persists in
+// the checkpoint directory, so a coordinator killed mid-fleet resumes
+// where it died when restarted with the same -checkpoint — merged
+// ranges stay merged, unmerged ranges are re-leased, and workers ride
+// out the outage in their retry loop (see internal/campaign/dist's
+// ledger.go).
 //
 //	# terminal 1 — coordinator (assembles into -checkpoint, then reports)
 //	cookiewalk -seed 42 -checkpoint /tmp/cw -serve :8440
@@ -38,7 +47,11 @@ type FleetCoordinator struct {
 // landscape campaigns. Config.CheckpointDir is required — it is the
 // assembly target, laid out exactly as local checkpointing lays it
 // out, so the post-merge report replays it natively (set
-// Config.Resume on the study that will render reports).
+// Config.Resume on the study that will render reports). If the
+// directory already holds a lease ledger from an interrupted fleet run
+// of the SAME study, the coordinator resumes it instead of starting
+// over. Config.FleetToken, when set, locks the HTTP API behind bearer
+// auth.
 func (s *Study) NewFleetCoordinator(logf func(format string, args ...any)) (*FleetCoordinator, error) {
 	if s.cfg.CheckpointDir == "" {
 		return nil, fmt.Errorf("cookiewalk: fleet coordinator requires Config.CheckpointDir")
@@ -47,6 +60,7 @@ func (s *Study) NewFleetCoordinator(logf func(format string, args ...any)) (*Fle
 		Dir:   s.cfg.CheckpointDir,
 		Specs: s.crawler.LandscapeSpecs(s.Targets()),
 		TTL:   s.cfg.LeaseTTL,
+		Token: s.cfg.FleetToken,
 		Logf:  logf,
 	})
 	if err != nil {
@@ -66,18 +80,55 @@ func (fc *FleetCoordinator) Wait(ctx context.Context) error { return fc.co.Wait(
 // Status snapshots the coordinator's lease ledger.
 func (fc *FleetCoordinator) Status() dist.Status { return fc.co.Status() }
 
+// Close shuts the coordinator down gracefully: state-changing requests
+// start answering 503 (workers keep polling until a restart takes
+// over) and the lease ledger is fsynced and closed, leaving on-disk
+// state exactly what a restart with the same CheckpointDir recovers.
+func (fc *FleetCoordinator) Close() error { return fc.co.Close() }
+
 // RunFleetWorker joins the fleet at coordinatorURL as a worker: it
 // verifies the coordinator is distributing THIS study's campaigns
 // (same labels, target count and targets hash — i.e. the same seed and
 // scale), then leases, crawls and ships shard ranges until every range
-// has merged. name identifies the worker in coordinator logs; logf
-// (optional) receives worker progress. The returned error is nil on
-// normal fleet completion.
+// has merged. name identifies the worker in coordinator logs (and
+// seeds the client's backoff jitter); logf (optional) receives worker
+// progress. The returned error is nil on normal fleet completion. A
+// coordinator restart mid-fleet is invisible beyond retry log lines —
+// the worker polls until the endpoint returns.
 func (s *Study) RunFleetWorker(ctx context.Context, coordinatorURL, name string, logf func(format string, args ...any)) error {
-	client := &dist.Client{BaseURL: coordinatorURL}
-	specs, err := client.Campaigns(ctx)
-	if err != nil {
-		return fmt.Errorf("cookiewalk: fleet worker: %w", err)
+	client := &dist.Client{
+		BaseURL: coordinatorURL,
+		Token:   s.cfg.FleetToken,
+		Seed:    xrand.Hash64(name),
+	}
+	return s.RunFleetWorkerWithClient(ctx, client, name, logf)
+}
+
+// RunFleetWorkerWithClient is RunFleetWorker with a caller-supplied
+// protocol client — the seam the fault-injection harness uses to put a
+// chaos transport under a real worker.
+func (s *Study) RunFleetWorkerWithClient(ctx context.Context, client *dist.Client, name string, logf func(format string, args ...any)) error {
+	// The identity check tolerates a coordinator that is mid-restart:
+	// transient failures poll, definitive ones (bad token, bad URL)
+	// fail fast.
+	var specs []dist.Spec
+	for {
+		var err error
+		specs, err = client.Campaigns(ctx)
+		if err == nil {
+			break
+		}
+		if !dist.IsTransient(err) || ctx.Err() != nil {
+			return fmt.Errorf("cookiewalk: fleet worker: %w", err)
+		}
+		if logf != nil {
+			logf("cookiewalk: fleet worker %s: coordinator unreachable (retryable): %v", name, err)
+		}
+		select {
+		case <-time.After(500 * time.Millisecond):
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		}
 	}
 	targets := s.Targets()
 	local := make(map[string]dist.Spec, len(specs))

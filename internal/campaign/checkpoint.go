@@ -94,6 +94,20 @@ func InitCheckpointDir(dir, label string, targets int, targetsHash uint64) error
 	return writeManifest(dir, manifest{Label: label, Targets: targets, TargetsHash: targetsHash})
 }
 
+// EnsureCheckpointDir prepares dir as the checkpoint directory of the
+// given campaign identity WITHOUT wiping journals already present —
+// the recovery-path sibling of InitCheckpointDir. A restarted fleet
+// coordinator uses it when it resumes an interrupted assembly: the
+// shard journals merged before the crash must survive the restart, and
+// the manifest is (re)written from the authoritative campaign specs so
+// Resume still accepts the directory as this campaign's own.
+func EnsureCheckpointDir(dir, label string, targets int, targetsHash uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("campaign: checkpoint dir: %w", err)
+	}
+	return writeManifest(dir, manifest{Label: label, Targets: targets, TargetsHash: targetsHash})
+}
+
 // HashTargets folds a string target list into a stable identity hash
 // for Checkpoint.TargetsHash (order-sensitive, platform-independent).
 func HashTargets(targets []string) uint64 {

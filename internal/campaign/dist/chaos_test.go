@@ -1,0 +1,173 @@
+package dist_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cookiewalk/internal/campaign"
+	"cookiewalk/internal/campaign/dist"
+	"cookiewalk/internal/campaign/dist/distfault"
+	"cookiewalk/internal/xrand"
+)
+
+// TestFleetChaosMatrix drives a full fleet through the fault injector:
+// every worker request passes a chaos transport (torn uploads, dropped
+// responses, stalled heartbeats, duplicated requests, torn reads) and
+// the coordinator answers through a 503-burst wrapper — all
+// deterministic per seed. The fleet must still converge, and the
+// assembled journals must replay byte-identically to a clean local
+// run. CI pins one seed per matrix job via COOKIEWALK_CHAOS_SEED;
+// without the env every seed runs in-process.
+func TestFleetChaosMatrix(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if env := os.Getenv("COOKIEWALK_CHAOS_SEED"); env != "" {
+		var s uint64
+		if _, err := fmt.Sscanf(env, "%d", &s); err != nil {
+			t.Fatalf("COOKIEWALK_CHAOS_SEED=%q: %v", env, err)
+		}
+		seeds = []uint64{s}
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) { runChaosFleet(t, seed) })
+	}
+}
+
+func runChaosFleet(t *testing.T, seed uint64) {
+	targets := testTargets(60)
+	const shards = 4
+	hash := campaign.HashTargets(targets)
+	spec := dist.Spec{Label: "camp alpha", Targets: len(targets), TargetsHash: hash, Shards: shards}
+	dir := t.TempDir()
+
+	co, err := dist.NewCoordinator(dist.CoordinatorConfig{
+		Dir: dir, Specs: []dist.Spec{spec},
+		// Generous enough that a healthy worker's heartbeats (TTL/3,
+		// with the client's own retries) survive the fault rates; small
+		// enough that a lease orphaned by a dropped response re-leases
+		// within the test's patience.
+		TTL: 500 * time.Millisecond, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosHandler := &distfault.Handler{Inner: co.Handler(), Seed: seed, Burst: 25, Logf: t.Logf}
+	srv := httptest.NewServer(chaosHandler)
+	defer srv.Close()
+
+	runner := func(ctx context.Context, lease dist.Lease, scratch string) (string, error) {
+		cfg := campaign.Config{Label: lease.Label, Checkpoint: &campaign.Checkpoint{
+			Dir: scratch, Codec: textCodec{}, TargetsHash: lease.TargetsHash,
+		}}
+		if _, err := campaign.RunRange(ctx, cfg, targets, lease.Shard, lease.Shards, lease.Lo, lease.Hi, visitTarget, nil); err != nil {
+			return "", err
+		}
+		return filepath.Join(scratch, campaign.ShardFilename(lease.Shard)), nil
+	}
+
+	var transports []*distfault.Transport
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := range errs {
+		tr := &distfault.Transport{
+			Seed:    xrand.Mix64(seed, uint64(i)+100),
+			Profile: distfault.DefaultProfile(),
+			Logf:    t.Logf,
+		}
+		transports = append(transports, tr)
+		client := &dist.Client{
+			BaseURL:    srv.URL,
+			HTTPClient: &http.Client{Transport: tr},
+			Backoff:    5 * time.Millisecond,
+			Seed:       xrand.Mix64(seed, uint64(i)),
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &dist.Worker{
+				Client: client, Name: fmt.Sprintf("chaos-%d", i),
+				Runner: runner, Poll: 10 * time.Millisecond, Logf: t.Logf,
+			}
+			errs[i] = w.Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			saveChaosArtifacts(t, seed, dir)
+			t.Fatalf("chaos worker %d died: %v", i, err)
+		}
+	}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := co.Wait(waitCtx); err != nil {
+		saveChaosArtifacts(t, seed, dir)
+		t.Fatalf("chaos fleet never converged: %v", err)
+	}
+	injected := uint64(chaosHandler.Injected())
+	for _, tr := range transports {
+		injected += tr.Injected()
+	}
+	t.Logf("chaos fleet converged through %d injected faults (status %+v)", injected, co.Status())
+	if injected == 0 {
+		t.Fatal("no faults injected — the chaos matrix tested nothing")
+	}
+
+	// The assembly must be indistinguishable from a clean local run.
+	var want, got []string
+	sink := func(out *[]string) func(campaign.Result[string]) {
+		return func(r campaign.Result[string]) { *out = append(*out, fmt.Sprintf("%d:%s", r.Index, r.Value)) }
+	}
+	if _, err := campaign.Run(context.Background(), campaign.Config{Label: "camp alpha", Shards: shards},
+		targets, visitTarget, sink(&want)); err != nil {
+		t.Fatal(err)
+	}
+	rcfg := campaign.Config{Label: "camp alpha", Checkpoint: &campaign.Checkpoint{
+		Dir: filepath.Join(dir, campaign.PathLabel("camp alpha")), Codec: textCodec{}, TargetsHash: hash,
+	}}
+	stats, err := campaign.Resume(context.Background(), rcfg, targets,
+		func(_ context.Context, d string) (string, error) {
+			t.Errorf("assembled resume re-visited %s", d)
+			return "", nil
+		}, sink(&got))
+	if err != nil {
+		saveChaosArtifacts(t, seed, dir)
+		t.Fatal(err)
+	}
+	if stats.Replayed != len(targets) {
+		saveChaosArtifacts(t, seed, dir)
+		t.Fatalf("replayed %d of %d", stats.Replayed, len(targets))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			saveChaosArtifacts(t, seed, dir)
+			t.Fatalf("delivery %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// saveChaosArtifacts copies the assembly dir — merged journals plus
+// the lease ledger — to COOKIEWALK_CHAOS_ARTIFACTS for CI upload on
+// failure.
+func saveChaosArtifacts(t *testing.T, seed uint64, dir string) {
+	t.Helper()
+	root := os.Getenv("COOKIEWALK_CHAOS_ARTIFACTS")
+	if root == "" {
+		return
+	}
+	dst := filepath.Join(root, fmt.Sprintf("chaos-seed-%d", seed))
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Logf("artifacts: %v", err)
+		return
+	}
+	if err := os.CopyFS(filepath.Join(dst, "assembly"), os.DirFS(dir)); err != nil {
+		t.Logf("artifacts: copy assembly: %v", err)
+	}
+	t.Logf("chaos failure artifacts saved to %s", dst)
+}

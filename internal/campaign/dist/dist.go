@@ -27,6 +27,15 @@
 // manifest identity guard (campaign.InitCheckpointDir), so a journal
 // can never merge into — or later replay onto — the wrong campaign.
 //
+// The coordinator itself is crash-safe: every lease-ledger transition
+// is appended to a durable checksummed log in the assembly dir (see
+// ledger.go), and a coordinator restarted on the same directory
+// recovers — merged ranges stay merged, unmerged ranges are re-leased,
+// and leases from the dead incarnation are fenced with the same 410
+// path. Workers classify failures accordingly: network errors and 5xx
+// are transient (retry — the coordinator may be mid-restart), while
+// 401, 410 and validation rejects are definitive.
+//
 // Determinism. Visits are pure functions of the universe seed, so a
 // range journal has identical bytes no matter which worker produced it
 // or how often a range was re-leased; the merge replays records in
@@ -42,7 +51,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
+
+	"cookiewalk/internal/xrand"
 )
 
 // Spec describes one distributable campaign: enough identity for a
@@ -83,6 +95,12 @@ type Status struct {
 	// Expired counts leases revoked after missing their TTL; each
 	// revocation put its shard range back in the pending queue.
 	Expired int `json:"expired"`
+	// Incarnation counts coordinator starts over this assembly dir:
+	// 1 for a fresh fleet, +1 per ledger recovery.
+	Incarnation int `json:"incarnation"`
+	// Recovered counts ranges found already merged (and re-verified)
+	// when this incarnation replayed the lease ledger.
+	Recovered int `json:"recovered"`
 }
 
 // Wire messages.
@@ -117,23 +135,70 @@ type LeaseReply struct {
 // ErrLeaseLost reports a heartbeat or journal upload refused because
 // the lease expired and its range went back to the pending queue (the
 // coordinator's 410) — the worker holding it must abandon the range.
+// Definitive: retrying the same lease ID can only ever yield another
+// 410, including against a restarted coordinator (a recovery never
+// resurrects the previous incarnation's leases).
 var ErrLeaseLost = errors.New("dist: lease lost (expired and re-leased)")
 
+// ErrUnauthorized reports a request refused by the coordinator's
+// bearer-token check (HTTP 401). Definitive: the worker's token is
+// wrong or missing, and no amount of retrying fixes credentials — the
+// worker must exit rather than hammer a fleet it cannot join.
+var ErrUnauthorized = errors.New("dist: unauthorized (missing or invalid fleet token)")
+
+// TransientError marks a failure worth retrying at a higher level:
+// the client exhausted its bounded retries against network errors, 5xx
+// responses or torn response bodies — exactly what a coordinator
+// restart looks like from outside. Workers keep polling through these
+// (see Worker.MaxDowntime) instead of dying while the control plane is
+// down.
+type TransientError struct{ Err error }
+
+func (e *TransientError) Error() string { return e.Err.Error() }
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether err is a retryable fleet failure, as
+// opposed to a definitive refusal (ErrLeaseLost, ErrUnauthorized, a
+// validation reject, a malformed reply).
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
 // Client speaks the coordinator protocol, transparently retrying
-// transient failures (network errors, 5xx) with bounded exponential
-// backoff. Definitive answers — a lease, a 410 fence, a validation
-// reject — are never retried.
+// transient failures (network errors, 5xx) with seeded-jitter bounded
+// exponential backoff. Definitive answers — a lease, a 401, a 410
+// fence, a validation reject — are never retried; exhausted transient
+// retries surface as a *TransientError so callers can keep waiting out
+// a coordinator restart.
 type Client struct {
 	// BaseURL locates the coordinator ("http://host:port").
 	BaseURL string
+	// Token, when non-empty, is sent as "Authorization: Bearer <Token>"
+	// on every request (must match the coordinator's configured token).
+	Token string
 	// HTTPClient overrides http.DefaultClient.
 	HTTPClient *http.Client
 	// MaxRetries bounds retries of transient failures per call
 	// (default 4).
 	MaxRetries int
 	// Backoff is the initial retry delay, doubled per attempt and
-	// capped at 2s (default 100ms).
+	// capped at 2s (default 100ms). Each delay is jittered into
+	// [base/2, base] from Seed, so a fleet of workers that lost the
+	// coordinator at the same instant does not return as a
+	// synchronized thundering herd when it comes back.
 	Backoff time.Duration
+	// Seed drives the backoff jitter deterministically (0 is a valid
+	// seed). Give each worker a distinct seed.
+	Seed uint64
+	// Sleep overrides how retry delays are waited out (tests inject a
+	// fake sleeper to assert the schedule). nil means a real timer
+	// honoring ctx cancellation.
+	Sleep func(d time.Duration)
+
+	// calls numbers do() invocations so jitter differs across calls,
+	// not just across attempts within one call.
+	calls atomic.Uint64
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -143,8 +208,19 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// jitter maps (seed, call, attempt) to a delay in [base/2, base] —
+// full determinism for tests, decorrelation across workers and calls
+// for the fleet.
+func jitter(seed, call uint64, attempt int, base time.Duration) time.Duration {
+	half := base / 2
+	h := xrand.Mix64(xrand.Mix64(seed, call), uint64(attempt))
+	return half + time.Duration(h%uint64(half+1))
+}
+
 // do issues one request with bounded-backoff retries of transient
-// failures and returns the final response body and status code.
+// failures and returns the final response body and status code. A 401
+// is definitive and returned as ErrUnauthorized; exhausted retries are
+// returned as *TransientError.
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) ([]byte, int, error) {
 	maxRetries := c.MaxRetries
 	if maxRetries <= 0 {
@@ -154,6 +230,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	call := c.calls.Add(1)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(body))
@@ -163,10 +240,16 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
+		if c.Token != "" {
+			req.Header.Set("Authorization", "Bearer "+c.Token)
+		}
 		resp, err := c.httpClient().Do(req)
 		if err == nil {
 			data, rerr := io.ReadAll(resp.Body)
 			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusUnauthorized {
+				return nil, resp.StatusCode, fmt.Errorf("%s %s: %w", method, path, ErrUnauthorized)
+			}
 			if rerr == nil && resp.StatusCode < 500 {
 				return data, resp.StatusCode, nil
 			}
@@ -179,12 +262,17 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			lastErr = err
 		}
 		if attempt >= maxRetries {
-			return nil, 0, lastErr
+			return nil, 0, &TransientError{Err: lastErr}
 		}
-		select {
-		case <-time.After(backoff):
-		case <-ctx.Done():
-			return nil, 0, context.Cause(ctx)
+		delay := jitter(c.Seed, call, attempt, backoff)
+		if c.Sleep != nil {
+			c.Sleep(delay)
+		} else {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, 0, context.Cause(ctx)
+			}
 		}
 		if backoff *= 2; backoff > 2*time.Second {
 			backoff = 2 * time.Second

@@ -1,0 +1,234 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"cookiewalk/internal/xrand"
+)
+
+// The lease ledger is the coordinator's durable control plane: an
+// append-only, checksummed record of every ledger state transition —
+// coordinator start, lease granted, lease expired, stale lease fenced,
+// range merged — living next to the assembled journals in the
+// checkpoint directory. A coordinator killed mid-fleet replays the
+// ledger on restart (see recoverLocked in coordinator.go): merged
+// ranges are re-verified against their assembly files and stay done,
+// every unmerged range returns to the pending queue, and the lease
+// sequence continues where it left off so stale lease IDs from the
+// previous incarnation can never collide with fresh grants — they fall
+// through to the existing 410 fence and the workers holding them simply
+// drop their ranges and lease again.
+//
+// File layout (Dir/ledger.cwl):
+//
+//	file  := magic line*
+//	magic := "cwled1\n"
+//	line  := hex16(fnv1a(payload)) " " payload "\n"
+//
+// where payload is one JSON-encoded ledgerEvent. The framing gives the
+// same torn-tail guarantee as the visit journals: a crash at any byte
+// leaves a prefix of fully checksummed lines, scanning stops at the
+// first torn or corrupt line, and a reopening writer truncates that
+// tail before appending. Events are fsynced as they are written — the
+// ledger records control-plane transitions (per lease, per range), not
+// per-visit data, so the sync cost is negligible next to a crawl.
+//
+// The ledger is advisory where it can be and authoritative only where
+// it must: merge events name the ranges whose assembly files should
+// verify, but recovery re-checks every candidate file with
+// campaign.CheckJournal (and also probes files that have no merge
+// event, covering a crash between the rename and the ledger append),
+// so a lost or lying ledger line degrades to re-crawling a range, never
+// to trusting a bad journal.
+
+// ledgerName is the ledger's file name inside the assembly dir.
+const ledgerName = "ledger.cwl"
+
+// ledgerMagic identifies (and versions) ledger files.
+const ledgerMagic = "cwled1\n"
+
+// Ledger event kinds.
+const (
+	evStart  = "start"  // coordinator (re)started: incarnation + fleet identity
+	evGrant  = "grant"  // lease granted: seq, lease ID, worker, range
+	evExpire = "expire" // lease missed its TTL: range back to pending
+	evFence  = "fence"  // request under a stale/unknown lease refused (410)
+	evMerge  = "merge"  // shipped journal validated and renamed into place
+)
+
+// ledgerEvent is one ledger line. Shard/Lo/Hi deliberately lack
+// omitempty: shard 0 and lo 0 are meaningful values.
+type ledgerEvent struct {
+	Ev     string `json:"ev"`
+	Inc    int    `json:"inc,omitempty"`    // start: incarnation (1-based)
+	Fleet  uint64 `json:"fleet,omitempty"`  // start: fleetHash of the spec set
+	Seq    int    `json:"seq,omitempty"`    // grant: lease sequence number
+	Lease  string `json:"lease,omitempty"`  // grant/expire/fence/merge
+	Worker string `json:"worker,omitempty"` // grant
+	Label  string `json:"label,omitempty"`  // grant/expire/merge
+	Shard  int    `json:"shard"`
+	Lo     int    `json:"lo"`
+	Hi     int    `json:"hi"`
+}
+
+// fleetHash folds the spec set into one identity value, stored in every
+// start event: a ledger must never be replayed by a coordinator
+// configured for different campaigns (other labels, another universe,
+// another shard partitioning) — that coordinator would re-queue ranges
+// that do not exist or trust merges that cover the wrong targets.
+func fleetHash(specs []Spec) uint64 {
+	h := xrand.Hash64("cookiewalk-fleet-ledger")
+	for _, s := range specs {
+		h = xrand.Mix64(h, xrand.Hash64(s.Label))
+		h = xrand.Mix64(h, uint64(s.Targets))
+		h = xrand.Mix64(h, s.TargetsHash)
+		h = xrand.Mix64(h, uint64(s.Shards))
+	}
+	return h
+}
+
+// ledger appends checksummed events to the on-disk log. All calls
+// happen under the coordinator's mutex. The first append failure
+// latches: the ledger goes dead (recorded in err) and the fleet keeps
+// running without durability — a restart then recovers from the
+// assembly files alone, which is slower (unrecorded merges re-verify
+// as done only via the file probe) but never wrong.
+type ledger struct {
+	f   *os.File
+	err error
+}
+
+// openLedger opens (or creates) the ledger at path and returns every
+// valid event already recorded. An existing file is scanned first and
+// truncated to its last valid line, so appends always extend a
+// consistent prefix.
+func openLedger(path string) (*ledger, []ledgerEvent, error) {
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := f.WriteString(ledgerMagic); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return &ledger{f: f}, nil, nil
+	case err != nil:
+		return nil, nil, err
+	}
+	events, valid := scanLedger(data)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if valid == 0 {
+		// The file existed but even the magic was torn: rewrite it.
+		if _, err := f.WriteString(ledgerMagic); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return &ledger{f: f}, events, nil
+}
+
+// scanLedger parses ledger bytes, returning every valid event and the
+// byte offset of the end of the last valid line (the truncation point
+// for writers). Parsing stops at the first invalid line: a missing
+// newline (torn tail), a malformed or mismatching checksum, or
+// undecodable JSON.
+func scanLedger(data []byte) (events []ledgerEvent, valid int) {
+	if len(data) < len(ledgerMagic) || string(data[:len(ledgerMagic)]) != ledgerMagic {
+		return nil, 0
+	}
+	off := len(ledgerMagic)
+	valid = off
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			return events, valid // torn tail: no newline yet
+		}
+		line := data[off : off+nl]
+		if len(line) < 18 || line[16] != ' ' {
+			return events, valid
+		}
+		sum, err := hex.DecodeString(string(line[:16]))
+		if err != nil {
+			return events, valid
+		}
+		payload := line[17:]
+		var want uint64
+		for _, b := range sum {
+			want = want<<8 | uint64(b)
+		}
+		if xrand.Hash64(string(payload)) != want {
+			return events, valid
+		}
+		var ev ledgerEvent
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return events, valid
+		}
+		events = append(events, ev)
+		off += nl + 1
+		valid = off
+	}
+	return events, valid
+}
+
+// append frames, writes and fsyncs one event. After the first failure
+// every later call returns the latched error without touching the file.
+func (l *ledger) append(ev ledgerEvent) error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.f == nil {
+		l.err = errors.New("dist: ledger: closed")
+		return l.err
+	}
+	payload, err := json.Marshal(ev)
+	if err == nil {
+		line := fmt.Sprintf("%016x %s\n", xrand.Hash64(string(payload)), payload)
+		if _, werr := l.f.WriteString(line); werr != nil {
+			err = werr
+		} else if serr := l.f.Sync(); serr != nil {
+			err = serr
+		}
+	}
+	if err != nil {
+		l.err = fmt.Errorf("dist: ledger: %w", err)
+		return l.err
+	}
+	return nil
+}
+
+// close fsyncs and closes the ledger file. Safe to call after a
+// latched failure (the close error is reported but state was already
+// degraded).
+func (l *ledger) close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if l.err == nil && err != nil {
+		l.err = err
+	}
+	return err
+}
