@@ -1,6 +1,7 @@
 package cookiewalk_test
 
 import (
+	"context"
 	"testing"
 
 	"cookiewalk"
@@ -47,7 +48,7 @@ func TestVisitAllocBudget(t *testing.T) {
 	wall := s.CookiewallDomains()[0]
 	regular := ""
 	for _, d := range s.Targets() {
-		if o := s.Crawler().Visit(vp, d, measure.VisitOpts{}); o.Err == "" && o.Kind == core.KindRegular {
+		if o := s.Crawler().Visit(context.Background(), vp, d, measure.VisitOpts{}); o.Err == "" && o.Kind == core.KindRegular {
 			regular = d
 			break
 		}
@@ -67,9 +68,9 @@ func TestVisitAllocBudget(t *testing.T) {
 		{"regular-uncached", regular, noMemo.Crawler(), regularUncachedAllocBudget},
 	} {
 		c := tc.crawler
-		c.Visit(vp, tc.domain, measure.VisitOpts{}) // warm render + analysis caches
+		c.Visit(context.Background(), vp, tc.domain, measure.VisitOpts{}) // warm render + analysis caches
 		got := testing.AllocsPerRun(50, func() {
-			if o := c.Visit(vp, tc.domain, measure.VisitOpts{}); o.Err != "" {
+			if o := c.Visit(context.Background(), vp, tc.domain, measure.VisitOpts{}); o.Err != "" {
 				t.Fatal(o.Err)
 			}
 		})

@@ -190,11 +190,11 @@ func BenchmarkVisit(b *testing.B) {
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			c := bc.crawler
-			c.Visit(vp, bc.domain, measure.VisitOpts{}) // warm render + analysis caches
+			c.Visit(context.Background(), vp, bc.domain, measure.VisitOpts{}) // warm render + analysis caches
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if o := c.Visit(vp, bc.domain, measure.VisitOpts{}); o.Err != "" {
+				if o := c.Visit(context.Background(), vp, bc.domain, measure.VisitOpts{}); o.Err != "" {
 					b.Fatal(o.Err)
 				}
 			}
@@ -208,7 +208,7 @@ func regularDomain(b *testing.B, s *cookiewalk.Study) string {
 	vp, _ := vantage.ByName("Germany")
 	c := s.Crawler()
 	for _, d := range s.Targets() {
-		if o := c.Visit(vp, d, measure.VisitOpts{}); o.Err == "" && o.Kind == core.KindRegular {
+		if o := c.Visit(context.Background(), vp, d, measure.VisitOpts{}); o.Err == "" && o.Kind == core.KindRegular {
 			return d
 		}
 	}

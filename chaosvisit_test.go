@@ -1,0 +1,273 @@
+package cookiewalk_test
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cookiewalk"
+	"cookiewalk/internal/browser/faulttransport"
+)
+
+// visitChaosSeed returns the fault-schedule seed for the flaky-transport
+// golden gate (CI pins it via COOKIEWALK_VISITCHAOS_SEED; default 1).
+// The seed drives the injector only — the UNIVERSE seed stays 42, so
+// every run must reproduce the same golden bytes.
+func visitChaosSeed(t *testing.T) uint64 {
+	t.Helper()
+	seed := uint64(1)
+	if env := os.Getenv("COOKIEWALK_VISITCHAOS_SEED"); env != "" {
+		if _, err := fmt.Sscanf(env, "%d", &seed); err != nil {
+			t.Fatalf("COOKIEWALK_VISITCHAOS_SEED=%q: %v", env, err)
+		}
+	}
+	return seed
+}
+
+// visitChaosProfile is the background fault mix for the golden gates:
+// every fault kind fires, at rates that hit thousands of requests per
+// run, with the per-request cap left at its default of 2 — so a retry
+// budget of 3 guarantees every request eventually succeeds.
+func visitChaosProfile() faulttransport.Profile {
+	return faulttransport.Profile{
+		Timeout:  8,
+		Reset:    8,
+		Err503:   8,
+		Truncate: 8,
+		Stall:    4,
+		StallFor: time.Millisecond,
+	}
+}
+
+// visitChaosConfig arms the full resilience stack on the golden-test
+// study: retries sized to out-last the injector's per-request cap,
+// per-visit deadlines, a per-host limiter generous enough never to
+// bind, and breakers that can only trip on retry exhaustion (which the
+// cap makes impossible) — so every knob is active and none may change
+// a single output byte.
+func visitChaosConfig() cookiewalk.Config {
+	return cookiewalk.Config{
+		Seed: 42, Scale: 0.02, Reps: 2,
+		VisitTimeout:      time.Minute,
+		VisitRetries:      3,
+		VisitRetryBackoff: time.Millisecond,
+		PerHostRPS:        5000,
+		PerHostBurst:      64,
+		BreakerThreshold:  8,
+	}
+}
+
+// TestGoldenFlakyTransport is the tentpole invariant of the resilient
+// visit layer: the COMPLETE experiment report, produced over transport
+// that injects timeouts, connection resets, 503s, truncated bodies and
+// stalls into both transport seams, is byte-identical to
+// testdata/golden_all.txt — the same snapshot the clean-transport
+// golden test pins. Retries absorb every fault (the injector's
+// per-request cap guarantees eventual success), the limiter and
+// breakers stay out of the way, and the only admissible difference
+// from a clean run is timing.
+func TestGoldenFlakyTransport(t *testing.T) {
+	seed := visitChaosSeed(t)
+	want, err := os.ReadFile("testdata/golden_all.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ft *faulttransport.Transport
+	var retries atomic.Int64
+	cfg := visitChaosConfig()
+	cfg.WrapTransport = func(base http.RoundTripper) http.RoundTripper {
+		rt, inj := faulttransport.Wrap(base, seed, visitChaosProfile())
+		ft = inj
+		return rt
+	}
+	cfg.Progress = func(p cookiewalk.Progress) {
+		if p.Retries > retries.Load() {
+			retries.Store(p.Retries)
+		}
+		if p.BreakerTrips > 0 || p.BreakerDenials > 0 {
+			t.Errorf("%s: breaker activity (%d trips, %d denials) on a run where every request eventually succeeds",
+				p.Label, p.BreakerTrips, p.BreakerDenials)
+		}
+	}
+
+	study := cookiewalk.New(cfg)
+	got, err := study.Report(cookiewalk.ExpAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj := ft.Injected(); inj.Total() == 0 {
+		t.Fatal("injector never fired — the chaos gate is vacuous")
+	} else {
+		t.Logf("seed %d: injected %d faults (%d timeouts, %d resets, %d 503s, %d truncates, %d stalls), %d retries observed",
+			seed, inj.Total(), inj.Timeouts, inj.Resets, inj.Err503s, inj.Truncates, inj.Stalls, retries.Load())
+	}
+	if retries.Load() == 0 {
+		t.Error("no retries surfaced in Progress despite injected faults")
+	}
+	diffGolden(t, got, string(want))
+}
+
+// TestGoldenFlakyCheckpointResume extends the gate across the
+// journaling layer: a chaos run journals every campaign to a
+// checkpoint dir and reports golden bytes; a second study then REPLAYS
+// those journals over clean transport and must report the same bytes
+// with zero fresh visits — records written under transport faults are
+// exactly the records a clean run would have written.
+func TestGoldenFlakyCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full scale-0.02 experiment suite twice")
+	}
+	seed := visitChaosSeed(t)
+	want, err := os.ReadFile("testdata/golden_all.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "chaos-ck")
+	t.Cleanup(func() {
+		if t.Failed() {
+			saveVisitChaosArtifacts(t, seed, dir)
+		}
+	})
+
+	cfg := visitChaosConfig()
+	cfg.CheckpointDir = dir
+	cfg.WrapTransport = func(base http.RoundTripper) http.RoundTripper {
+		rt, _ := faulttransport.Wrap(base, seed, visitChaosProfile())
+		return rt
+	}
+	got, err := cookiewalk.New(cfg).Report(cookiewalk.ExpAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffGolden(t, got, string(want))
+
+	var replayed, fresh atomic.Int64
+	rcfg := cookiewalk.Config{
+		Seed: 42, Scale: 0.02, Reps: 2,
+		CheckpointDir: dir,
+		Resume:        true,
+		Progress: func(p cookiewalk.Progress) {
+			if p.Replayed > replayed.Load() {
+				replayed.Store(p.Replayed)
+			}
+			if f := p.Done - p.Replayed; f > fresh.Load() {
+				fresh.Store(f)
+			}
+		},
+	}
+	resumed, err := cookiewalk.New(rcfg).Report(cookiewalk.ExpAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Load() == 0 {
+		t.Error("resume replayed nothing — the journals were not exercised")
+	}
+	if f := fresh.Load(); f != 0 {
+		t.Errorf("resume crawled %d fresh visits; chaos-run journals should cover everything", f)
+	}
+	diffGolden(t, resumed, string(want))
+}
+
+// TestExhaustedRetriesSurfaceAsErrors covers the other half of the
+// contract: a host that is down for good (every attempt faulted, no
+// per-request cap) exhausts its retry budget and surfaces as an
+// ordinary visit error — the campaign completes, nothing wedges, no
+// corrupted result — and once the host's breaker trips, further visits
+// fail fast with a circuit-open error while other hosts stay reachable.
+func TestExhaustedRetriesSurfaceAsErrors(t *testing.T) {
+	// A probe study (same seed/scale) supplies the deterministic target
+	// list so the victim host is known before the real study is built.
+	probe := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2})
+	targets := probe.Targets()
+	victim, healthy := targets[5], targets[6]
+
+	cfg := cookiewalk.Config{
+		Seed: 42, Scale: 0.02, Reps: 2,
+		VisitRetries:      2,
+		VisitRetryBackoff: time.Millisecond,
+		BreakerThreshold:  2,
+		BreakerCooldown:   time.Hour,
+		WrapTransport: func(base http.RoundTripper) http.RoundTripper {
+			rt, inj := faulttransport.Wrap(base, 99, faulttransport.Profile{
+				Reset: 1000, MaxPerRequest: -1,
+			})
+			inj.Hosts = func(host string) bool { return host == victim }
+			return rt
+		},
+	}
+	study := cookiewalk.New(cfg)
+
+	// Visits 1 and 2: retries exhaust, the error names the injected
+	// fault and the give-up, and each exhaustion feeds the breaker.
+	for i := 0; i < 2; i++ {
+		_, err := study.Analyze("Germany", victim)
+		if err == nil {
+			t.Fatalf("visit %d of always-down host succeeded", i+1)
+		}
+		if !strings.Contains(err.Error(), "giving up after 3 attempts") ||
+			!strings.Contains(err.Error(), "injected reset") {
+			t.Fatalf("visit %d error does not surface the exhausted retry: %v", i+1, err)
+		}
+	}
+
+	// Visit 3: the breaker (threshold 2) is open — fail fast.
+	if _, err := study.Analyze("Germany", victim); err == nil {
+		t.Fatal("visit through an open breaker succeeded")
+	} else if !strings.Contains(err.Error(), "circuit open") {
+		t.Fatalf("expected a circuit-open error, got: %v", err)
+	}
+
+	// Other hosts are untouched by the victim's breaker.
+	rep, err := study.Analyze("Germany", healthy)
+	if err != nil {
+		t.Fatalf("healthy host failed alongside the victim: %v", err)
+	}
+	if rep.Domain != healthy {
+		t.Fatalf("healthy report for %q, want %q", rep.Domain, healthy)
+	}
+}
+
+// saveVisitChaosArtifacts copies the chaos run's checkpoint journals
+// to COOKIEWALK_VISITCHAOS_ARTIFACTS for CI upload on failure — the
+// seed fully determines the fault schedule, so the journals plus the
+// seed reproduce the failure offline.
+func saveVisitChaosArtifacts(t *testing.T, seed uint64, dir string) {
+	t.Helper()
+	root := os.Getenv("COOKIEWALK_VISITCHAOS_ARTIFACTS")
+	if root == "" {
+		return
+	}
+	dst := filepath.Join(root, fmt.Sprintf("visit-chaos-seed-%d", seed))
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Logf("artifacts: %v", err)
+		return
+	}
+	if err := os.CopyFS(filepath.Join(dst, "checkpoint"), os.DirFS(dir)); err != nil {
+		t.Logf("artifacts: copy checkpoint: %v", err)
+	}
+	t.Logf("visit-chaos failure artifacts saved to %s", dst)
+}
+
+// diffGolden reports the first divergent line between got and the
+// golden snapshot (mirrors TestGoldenAllReport's failure output).
+func diffGolden(t *testing.T, got, want string) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(want, "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("output diverges from golden at line %d:\n got: %q\nwant: %q",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("output length changed: got %d lines, want %d lines", len(gotLines), len(wantLines))
+}

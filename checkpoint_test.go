@@ -47,7 +47,7 @@ func interruptCrawl(t *testing.T, cfg cookiewalk.Config, killLabel string, killA
 
 // resumedReport builds a study that resumes from dir and renders one
 // experiment, returning the report and the landscape's replay count.
-func resumedReport(t *testing.T, cfg cookiewalk.Config, exp cookiewalk.Experiment) (string, int) {
+func resumedReport(t *testing.T, cfg cookiewalk.Config, exp cookiewalk.Experiment) (string, int64) {
 	t.Helper()
 	cfg.Resume = true
 	study := cookiewalk.New(cfg)
@@ -55,7 +55,7 @@ func resumedReport(t *testing.T, cfg cookiewalk.Config, exp cookiewalk.Experimen
 	if err != nil {
 		t.Fatalf("resumed report: %v", err)
 	}
-	replayed := 0
+	replayed := int64(0)
 	for _, res := range study.CachedLandscape().PerVP {
 		replayed += res.Stats.Replayed
 	}

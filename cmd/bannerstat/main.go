@@ -24,10 +24,12 @@ func main() {
 		walls      = flag.Bool("walls", false, "list cookiewall domains and exit")
 		screenshot = flag.Bool("screenshot", false, "render the banner as an ASCII box (Appendix B style)")
 		progress   = flag.Bool("progress", false, "stream campaign progress counters to stderr")
+		workers    = flag.Int("workers", 0, "per-shard worker pool size (0 = GOMAXPROCS)")
+		shards     = flag.Int("shards", 0, "campaign shard count (0 = derived from target count)")
 	)
 	flag.Parse()
 
-	cfg := cookiewalk.Config{Seed: *seed, Scale: *scale}
+	cfg := cookiewalk.Config{Seed: *seed, Scale: *scale, Workers: *workers, Shards: *shards}
 	if *progress {
 		cfg.Progress = func(p cookiewalk.Progress) {
 			fmt.Fprintf(os.Stderr, "%s: shard %d/%d, %d/%d visits, %d errors\n",

@@ -80,6 +80,14 @@ func main() {
 		workerURL  = flag.String("worker", "", "worker mode: lease, crawl and ship landscape shard ranges from the coordinator at this URL (no report)")
 		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "coordinator lease TTL: a worker silent this long is presumed dead and its range re-leased")
 		fleetToken = flag.String("fleet-token", "", "shared fleet secret: -serve refuses requests without it, -worker sends it (empty = no auth; set the same value on both sides)")
+
+		visitTimeout = flag.Duration("visit-timeout", 0, "per-visit wall-clock deadline, navigation + subresources + retries (0 = none)")
+		visitRetries = flag.Int("visit-retries", 0, "extra attempts per request on transient transport failures (timeouts, resets, truncated bodies, 5xx); results stay byte-identical when faults eventually clear")
+		perHost      = flag.Float64("per-host", 0, "per-host request rate limit in requests/second, shared across all shards and workers (0 = unlimited)")
+
+		fleetCert = flag.String("fleet-cert", "", "TLS certificate (PEM) for the coordinator: -serve listens with https:// (requires -fleet-key)")
+		fleetKey  = flag.String("fleet-key", "", "TLS private key (PEM) for -fleet-cert")
+		fleetCA   = flag.String("fleet-ca", "", "CA bundle (PEM) workers trust when dialing an https:// coordinator (empty = system pool)")
 	)
 	flag.Parse()
 
@@ -93,6 +101,10 @@ func main() {
 	}
 	if *serve != "" && *workerURL != "" {
 		fmt.Fprintln(os.Stderr, "error: -serve and -worker are mutually exclusive")
+		os.Exit(2)
+	}
+	if (*fleetCert != "") != (*fleetKey != "") {
+		fmt.Fprintln(os.Stderr, "error: -fleet-cert and -fleet-key must be set together")
 		os.Exit(2)
 	}
 
@@ -121,6 +133,10 @@ func main() {
 		ExperimentParallelism: *jobs,
 		LeaseTTL:              *leaseTTL,
 		FleetToken:            *fleetToken,
+		FleetCA:               *fleetCA,
+		VisitTimeout:          *visitTimeout,
+		VisitRetries:          *visitRetries,
+		PerHostRPS:            *perHost,
 	}
 	if *serve != "" {
 		// The post-merge report must replay the assembled journals
@@ -149,7 +165,7 @@ func main() {
 		return
 	}
 	if *serve != "" {
-		stop := serveFleet(study, *serve)
+		stop := serveFleet(study, *serve, *fleetCert, *fleetKey)
 		defer stop()
 	}
 
@@ -187,15 +203,29 @@ func main() {
 // saved as it streams by.
 func printProgress(p cookiewalk.Progress) {
 	if p.Replayed > 0 {
-		fmt.Fprintf(os.Stderr, "\r%-24s shard %d/%d  %d/%d visits (%d replayed + %d fresh)  %d errors",
-			p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Replayed, p.Done-p.Replayed, p.Errors)
+		fmt.Fprintf(os.Stderr, "\r%-24s shard %d/%d  %d/%d visits (%d replayed + %d fresh)  %d errors%s",
+			p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Replayed, p.Done-p.Replayed, p.Errors, resilienceSuffix(p))
 	} else {
-		fmt.Fprintf(os.Stderr, "\r%-24s shard %d/%d  %d/%d visits  %d errors",
-			p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Errors)
+		fmt.Fprintf(os.Stderr, "\r%-24s shard %d/%d  %d/%d visits  %d errors%s",
+			p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Errors, resilienceSuffix(p))
 	}
 	if p.Done >= p.Total {
 		fmt.Fprintln(os.Stderr)
 	}
+}
+
+// resilienceSuffix renders the retry/breaker counters, empty when the
+// resilience layer had nothing to do — the common case — so the
+// ordinary status line stays unchanged.
+func resilienceSuffix(p cookiewalk.Progress) string {
+	if p.Retries == 0 && p.BreakerTrips == 0 && p.BreakerDenials == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("  %d retries", p.Retries)
+	if p.BreakerTrips > 0 || p.BreakerDenials > 0 {
+		s += fmt.Sprintf("  breaker: %d trips, %d denials", p.BreakerTrips, p.BreakerDenials)
+	}
+	return s
 }
 
 // printProgressLines is the concurrent (-j > 1) -progress sink:
@@ -204,12 +234,12 @@ func printProgress(p cookiewalk.Progress) {
 // ("landscape Germany", "fig4 cookiewall", "bypass", ...).
 func printProgressLines(p cookiewalk.Progress) {
 	if p.Replayed > 0 {
-		fmt.Fprintf(os.Stderr, "%-24s shard %d/%d  %d/%d visits (%d replayed + %d fresh)  %d errors\n",
-			p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Replayed, p.Done-p.Replayed, p.Errors)
+		fmt.Fprintf(os.Stderr, "%-24s shard %d/%d  %d/%d visits (%d replayed + %d fresh)  %d errors%s\n",
+			p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Replayed, p.Done-p.Replayed, p.Errors, resilienceSuffix(p))
 		return
 	}
-	fmt.Fprintf(os.Stderr, "%-24s shard %d/%d  %d/%d visits  %d errors\n",
-		p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Errors)
+	fmt.Fprintf(os.Stderr, "%-24s shard %d/%d  %d/%d visits  %d errors%s\n",
+		p.Label+":", p.Shard, p.Shards, p.Done, p.Total, p.Errors, resilienceSuffix(p))
 }
 
 // printShardAccounting dumps the per-shard visit/error counters of the
@@ -237,6 +267,10 @@ func printShardAccounting(study *cookiewalk.Study) {
 			fmt.Fprintf(os.Stderr, "  %-14s resumed: %d replayed + %d fresh of %d\n",
 				"", r, res.Stats.Fresh(), res.Stats.Done)
 		}
+		if st := res.Stats; st.Retries > 0 || st.BreakerTrips > 0 || st.BreakerDenials > 0 {
+			fmt.Fprintf(os.Stderr, "  %-14s resilience: %d retries, %d breaker trips, %d breaker denials\n",
+				"", st.Retries, st.BreakerTrips, st.BreakerDenials)
+		}
 	}
 }
 
@@ -252,7 +286,7 @@ func printShardAccounting(study *cookiewalk.Study) {
 // polling), the lease ledger is fsynced and closed, and the process
 // exits nonzero with a reminder that the same -checkpoint resumes the
 // fleet exactly where it stopped.
-func serveFleet(study *cookiewalk.Study, addr string) (stop func()) {
+func serveFleet(study *cookiewalk.Study, addr, certFile, keyFile string) (stop func()) {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
@@ -267,8 +301,14 @@ func serveFleet(study *cookiewalk.Study, addr string) (stop func()) {
 		os.Exit(1)
 	}
 	srv := &http.Server{Handler: fc.Handler()}
-	go srv.Serve(ln)
-	fmt.Fprintf(os.Stderr, "coordinator listening on %s, waiting for workers...\n", ln.Addr())
+	scheme := "http"
+	if certFile != "" {
+		scheme = "https"
+		go srv.ServeTLS(ln, certFile, keyFile)
+	} else {
+		go srv.Serve(ln)
+	}
+	fmt.Fprintf(os.Stderr, "coordinator listening on %s (%s), waiting for workers...\n", ln.Addr(), scheme)
 
 	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()

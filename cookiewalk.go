@@ -75,6 +75,7 @@ import (
 	"cookiewalk/internal/campaign"
 	"cookiewalk/internal/core"
 	"cookiewalk/internal/dom"
+	"cookiewalk/internal/hostgate"
 	"cookiewalk/internal/measure"
 	"cookiewalk/internal/report"
 	"cookiewalk/internal/synthweb"
@@ -151,6 +152,47 @@ type Config struct {
 	// single campaign's. Purely a scheduling knob — the assembled
 	// report is byte-identical for any value.
 	ExperimentParallelism int
+	// VisitTimeout, when positive, bounds each visit's wall clock
+	// (navigation plus all subresource fetches and retries). A visit
+	// that overruns surfaces as an ordinary visit error; it never
+	// wedges the campaign. Zero disables the deadline.
+	VisitTimeout time.Duration
+	// VisitRetries, when positive, retries transient transport
+	// failures — timeouts, connection resets, truncated bodies, 5xx —
+	// up to that many extra attempts per request with seeded
+	// exponential backoff. Definitive failures (DNS, 4xx) are never
+	// retried. With flaky transport whose faults eventually clear,
+	// results are byte-identical to a clean run; only timing changes.
+	VisitRetries int
+	// VisitRetryBackoff is the initial retry delay (default 100ms,
+	// doubled per attempt, capped at 2s, decorrelated jitter). Timing
+	// only — never results.
+	VisitRetryBackoff time.Duration
+	// PerHostRPS, when positive, rate-limits requests per target host
+	// across ALL shards and workers via a shared token bucket.
+	// Throughput knob only — results are identical at any rate.
+	PerHostRPS float64
+	// PerHostBurst is the token-bucket burst size (default 1).
+	PerHostBurst int
+	// BreakerThreshold, when positive, arms a per-host circuit
+	// breaker: after that many consecutive transient failures the host
+	// is skipped (visits fail fast with a circuit-open error) until a
+	// half-open probe succeeds. A breaker can only trip on hosts that
+	// already exhaust their retries, so it never changes results for
+	// targets that eventually succeed.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before probing
+	// the host again (default 30s).
+	BreakerCooldown time.Duration
+	// FleetCA, when set, is a PEM file of CA certificates fleet
+	// workers trust when dialing an https:// coordinator (see
+	// RunFleetWorker). Empty uses the system pool.
+	FleetCA string
+	// WrapTransport, when set, wraps the synthetic web's transport
+	// before the crawler sees it — the seam the flaky-transport chaos
+	// tests use to inject deterministic faults between browser and
+	// farm. Production studies leave it nil.
+	WrapTransport func(http.RoundTripper) http.RoundTripper
 }
 
 // Progress is a point-in-time snapshot of a running crawl campaign.
@@ -165,6 +207,15 @@ type Progress struct {
 	// instead of a fresh visit (always ≤ Done; nonzero only when
 	// resuming). Done - Replayed is the fresh-visit count.
 	Replayed int64
+	// Retries counts transient-failure retry attempts across the
+	// campaign (zero unless Config.VisitRetries is set and transport
+	// faults occur).
+	Retries int64
+	// BreakerTrips counts per-host circuit-breaker openings;
+	// BreakerDenials counts visits rejected fast because a host's
+	// breaker was open (both zero unless Config.BreakerThreshold is
+	// set).
+	BreakerTrips, BreakerDenials int64
 }
 
 // Study owns a generated universe and its measurement machinery.
@@ -200,12 +251,30 @@ func New(cfg Config) *Study {
 	}
 	reg := synthweb.Generate(synthweb.Config{Seed: cfg.Seed, FillerScale: cfg.Scale})
 	farm := webfarm.New(reg)
-	crawler := measure.New(reg, farm.Transport())
+	transport := http.RoundTripper(farm.Transport())
+	if cfg.WrapTransport != nil {
+		transport = cfg.WrapTransport(transport)
+	}
+	crawler := measure.New(reg, transport)
 	crawler.Workers = cfg.Workers
 	crawler.Shards = cfg.Shards
 	crawler.NoAnalysisCache = cfg.NoAnalysisCache
 	crawler.CheckpointDir = cfg.CheckpointDir
 	crawler.Resume = cfg.Resume
+	crawler.VisitTimeout = cfg.VisitTimeout
+	crawler.VisitRetries = cfg.VisitRetries
+	crawler.RetryBackoff = cfg.VisitRetryBackoff
+	crawler.RetrySeed = cfg.Seed
+	if g := hostgate.New(hostgate.Config{
+		PerHostRPS:       cfg.PerHostRPS,
+		Burst:            cfg.PerHostBurst,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+	}); g != nil {
+		// Assigned only when non-nil so the interface stays nil (not a
+		// typed-nil) and the browser's fast path can skip it entirely.
+		crawler.Gate = g
+	}
 	if par > 1 {
 		// Concurrent campaigns draw visit slots from ONE budget sized
 		// like a single campaign's worker pool, so experiment-level
@@ -218,6 +287,7 @@ func New(cfg Config) *Study {
 				Label: p.Label, Shard: p.Shard, Shards: p.Shards,
 				Done: p.Done, Total: p.Total, Errors: p.Errors,
 				Replayed: p.Replayed,
+				Retries:  p.Retries, BreakerTrips: p.BreakerTrips, BreakerDenials: p.BreakerDenials,
 			})
 		}
 	}

@@ -2,8 +2,11 @@ package cookiewalk
 
 import (
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"fmt"
 	"net/http"
+	"os"
 	"time"
 
 	"cookiewalk/internal/campaign/dist"
@@ -96,12 +99,42 @@ func (fc *FleetCoordinator) Close() error { return fc.co.Close() }
 // coordinator restart mid-fleet is invisible beyond retry log lines —
 // the worker polls until the endpoint returns.
 func (s *Study) RunFleetWorker(ctx context.Context, coordinatorURL, name string, logf func(format string, args ...any)) error {
+	httpClient, err := newFleetHTTPClient(s.cfg.FleetCA)
+	if err != nil {
+		return fmt.Errorf("cookiewalk: fleet worker: %w", err)
+	}
 	client := &dist.Client{
-		BaseURL: coordinatorURL,
-		Token:   s.cfg.FleetToken,
-		Seed:    xrand.Hash64(name),
+		BaseURL:    coordinatorURL,
+		Token:      s.cfg.FleetToken,
+		Seed:       xrand.Hash64(name),
+		HTTPClient: httpClient,
 	}
 	return s.RunFleetWorkerWithClient(ctx, client, name, logf)
+}
+
+// newFleetHTTPClient builds the worker's HTTP client. With no custom CA
+// it returns nil (the dist client falls back to http.DefaultClient,
+// which already speaks https:// against publicly trusted coordinators).
+// With caFile set, the returned client trusts exactly that PEM bundle —
+// the self-signed / private-CA deployment the fleet TLS runbook
+// describes.
+func newFleetHTTPClient(caFile string) (*http.Client, error) {
+	if caFile == "" {
+		return nil, nil
+	}
+	pem, err := os.ReadFile(caFile)
+	if err != nil {
+		return nil, fmt.Errorf("fleet CA: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("fleet CA: no certificates found in %s", caFile)
+	}
+	return &http.Client{
+		Transport: &http.Transport{
+			TLSClientConfig: &tls.Config{RootCAs: pool},
+		},
+	}, nil
 }
 
 // RunFleetWorkerWithClient is RunFleetWorker with a caller-supplied

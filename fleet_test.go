@@ -102,7 +102,7 @@ func TestFleetGoldenWithKilledWorker(t *testing.T) {
 
 	// The landscape must have replayed from the shipped journals, not
 	// re-crawled.
-	replayed := 0
+	replayed := int64(0)
 	for _, res := range coordStudy.CachedLandscape().PerVP {
 		replayed += res.Stats.Replayed
 		if res.Stats.Fresh() != 0 {

@@ -59,6 +59,18 @@ type Browser struct {
 	MaxFrameDepth int
 	// MaxRedirects bounds redirect chains (default 5).
 	MaxRedirects int
+	// Resilience configures deadlines, retries and the per-host gate
+	// (see resilience.go). The zero value keeps the historical
+	// fail-on-first-error behavior.
+	Resilience Resilience
+
+	// rtCalls numbers logical requests so retry jitter decorrelates
+	// across calls, not just across attempts within one call.
+	rtCalls uint64
+	// composeErr records the first degraded subresource fetch (a
+	// transient failure that survived the whole retry budget) during
+	// the current composition; see ComposeErr.
+	composeErr error
 }
 
 // DefaultUserAgent imitates OpenWPM's instrumented Firefox.
@@ -93,6 +105,9 @@ func (b *Browser) Reset(rt http.RoundTripper, vp vantage.VP) {
 	b.UserAgent = DefaultUserAgent
 	b.MaxFrameDepth = 3
 	b.MaxRedirects = 5
+	b.Resilience = Resilience{}
+	b.rtCalls = 0
+	b.composeErr = nil
 }
 
 // Page is a fully loaded page.
@@ -123,12 +138,19 @@ type Page struct {
 func (p *Page) Host() string { return p.URL.Hostname() }
 
 // Open loads a page: fetch, parse, run directives, frames, resources.
+// With resilience enabled, a composition whose subresource fetches
+// exhausted their retry budget is an error — a degraded page must
+// never be analyzed or memoized as if it were the page.
 func (b *Browser) Open(rawurl string) (*Page, error) {
 	fr, err := b.FetchTop(rawurl)
 	if err != nil {
 		return nil, err
 	}
-	return b.Compose(fr), nil
+	page := b.Compose(fr)
+	if err := b.ComposeErr(); err != nil {
+		return nil, err
+	}
+	return page, nil
 }
 
 // FetchResult is a fetched-but-not-yet-composed top-level document:
@@ -200,6 +222,7 @@ func (b *Browser) pageFingerprint(resp response, u *url.URL) uint64 {
 // script directives, frames, subresources, cosmetic filtering and
 // anti-adblock detectors — the second half of Open.
 func (b *Browser) Compose(fr FetchResult) *Page {
+	b.composeErr = nil
 	page := &Page{
 		URL:         fr.URL,
 		Doc:         dom.Parse(fr.Body),
@@ -213,6 +236,16 @@ func (b *Browser) Compose(fr FetchResult) *Page {
 	b.applyAdblockDetectors(page)
 	return page
 }
+
+// ComposeErr reports whether the most recent Compose was degraded by
+// transport failure: a subresource fetch (script directive, frame,
+// cookie-setting resource) failed transiently even after the whole
+// retry budget, so the composed page may be missing content a healthy
+// transport would have delivered. Deterministic failures — blocked
+// URLs, 404s, unknown hosts — never count: those ARE the page.
+// Callers that memoize analysis by fingerprint must check this after
+// Compose and treat a non-nil answer as a failed visit.
+func (b *Browser) ComposeErr() error { return b.composeErr }
 
 const (
 	// maxPageBody bounds top-level document reads (4 MiB, like a
@@ -260,8 +293,7 @@ func (b *Browser) fetch(method, rawurl string, form url.Values, redirectsLeft, l
 	}
 	cur := rawurl
 	for {
-		req := b.newRequest(method, u, form)
-		resp, err := b.roundTrip(req, cur, limit)
+		resp, err := b.doRequest(method, u, form, cur, limit)
 		if err != nil {
 			return response{}, nil, err
 		}
@@ -373,6 +405,14 @@ func (b *Browser) fetchBlockable(page *Page, rawurl string) (string, bool) {
 	}
 	resp, _, err := b.fetch(http.MethodGet, abs.String(), nil, 2, maxSubresourceBody)
 	if err != nil {
+		// A transient failure that survived the whole retry budget (or a
+		// breaker fail-fast) degrades the composition: record it so the
+		// visit fails instead of analyzing a partial page. Deterministic
+		// errors — unknown hosts, bad URLs — keep the historical
+		// silently-skipped behavior; they are the page, not the weather.
+		if b.composeErr == nil && (IsTransient(err) || isCircuitOpen(err)) {
+			b.composeErr = fmt.Errorf("browser: subresource %s: %w", abs.String(), err)
+		}
 		return "", false
 	}
 	page.Fetched = append(page.Fetched, abs.String())

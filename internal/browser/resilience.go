@@ -1,0 +1,246 @@
+package browser
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/url"
+	"time"
+
+	"cookiewalk/internal/xrand"
+)
+
+// Resilience configures the browser's fault tolerance for flaky
+// transports: bounded per-request retries with seeded decorrelated
+// jitter backoff (the same discipline as the fleet client's), an
+// optional per-host admission gate (rate limiter + circuit breaker),
+// and a context that carries the per-visit deadline into every
+// request. The zero value disables everything and keeps the fetch
+// path byte-for-byte identical to the pre-resilience browser — the
+// in-process webfarm never fails, so the defaults pay nothing for it.
+type Resilience struct {
+	// Ctx, when non-nil, is attached to every outgoing request — the
+	// per-visit deadline and cancellation reach the transport (real
+	// network transports honor it; the fault injector's stalls do too).
+	Ctx context.Context
+	// Retries bounds retry attempts per request after a transient
+	// failure (0 disables retrying).
+	Retries int
+	// Backoff is the initial retry delay, doubled per attempt and
+	// capped at 2s (default 100ms). Each delay is jittered into
+	// [base/2, base] from Seed — see xrand.JitterDuration.
+	Backoff time.Duration
+	// Seed drives the backoff jitter deterministically.
+	Seed uint64
+	// Gate, when non-nil, is consulted once per attempt (politeness
+	// applies to wire traffic) and told each request's final outcome.
+	Gate HostGate
+	// Meter, when non-nil, receives retry/breaker events for campaign
+	// accounting.
+	Meter Meter
+	// Sleep overrides how retry delays are waited out (tests inject a
+	// fake sleeper). nil means a real timer honoring Ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// HostGate is the per-host admission controller the browser consults
+// around each request attempt. Matching is structural so this package
+// needs no import of internal/hostgate: Acquire either admits the
+// attempt (possibly after a politeness delay), fails fast with a
+// circuit-open error, or returns ctx's cancellation cause; Report
+// records the request's final post-retry outcome and returns true
+// when that report tripped a breaker open.
+type HostGate interface {
+	Acquire(ctx context.Context, host string) error
+	Report(host string, failed bool) bool
+}
+
+// Meter receives resilience events. Implementations must be safe for
+// concurrent use (one Meter is shared across a campaign's workers).
+type Meter interface {
+	// VisitRetry counts one retried request attempt.
+	VisitRetry()
+	// BreakerTrip counts one breaker open transition.
+	BreakerTrip()
+	// BreakerDenial counts one request refused by an open breaker.
+	BreakerDenial()
+}
+
+// IsTransient reports whether err is marked retryable by the
+// transport — structurally, via an `interface{ Transient() bool }`
+// anywhere in its wrap chain. The fault injector and real network
+// transports mark timeouts, resets, torn bodies and stalls this way;
+// definitive failures (webfarm's "no such host", bad URLs, HTTP
+// status codes) are not marked and are never retried, which keeps a
+// clean run's error strings byte-identical with resilience enabled.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// exhaustedError reports a request that burned its whole retry
+// budget on transient failures. It stays transient-marked (the
+// underlying cause was) so composition degradation detection and
+// callers' classification see through it, and its text is
+// deterministic — a pure function of the attempt budget and the last
+// transport error.
+type exhaustedError struct {
+	url      string
+	attempts int
+	err      error
+}
+
+func (e *exhaustedError) Error() string {
+	return fmt.Sprintf("browser: %s: giving up after %d attempts: %v", e.url, e.attempts, e.err)
+}
+func (e *exhaustedError) Unwrap() error   { return e.err }
+func (e *exhaustedError) Transient() bool { return true }
+
+// statusError is the retry loop's internal representation of a 5xx
+// response: retryable while budget remains, and — with retries
+// enabled — an error on exhaustion, so an injected 503 body can never
+// masquerade as page content in the analysis memo.
+type statusError struct {
+	url    string
+	status int
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("browser: %s returned status %d", e.url, e.status)
+}
+func (e *statusError) Transient() bool { return true }
+
+// isCircuitOpen matches hostgate's fail-fast structurally.
+func isCircuitOpen(err error) bool {
+	var c interface{ CircuitOpen() bool }
+	return errors.As(err, &c) && c.CircuitOpen()
+}
+
+// attemptKey threads the retry-attempt ordinal through the request
+// context to the fault injector, which keys its fault schedule on
+// (URL, attempt) — a pure function of the seed, so injected faults
+// are immune to goroutine interleaving.
+type attemptKey struct{}
+
+// WithAttempt returns a context carrying a request retry-attempt
+// ordinal (0 = first try).
+func WithAttempt(ctx context.Context, attempt int) context.Context {
+	return context.WithValue(ctx, attemptKey{}, attempt)
+}
+
+// AttemptFromContext extracts the retry-attempt ordinal stamped by
+// WithAttempt, or 0.
+func AttemptFromContext(ctx context.Context) int {
+	if v, ok := ctx.Value(attemptKey{}).(int); ok {
+		return v
+	}
+	return 0
+}
+
+func (r *Resilience) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+func (r *Resilience) sleep(d time.Duration) error {
+	if r.Sleep != nil {
+		return r.Sleep(r.ctx(), d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-r.ctx().Done():
+		return context.Cause(r.ctx())
+	}
+}
+
+// doRequest performs one logical request — newRequest + roundTrip —
+// under the Resilience policy: gate admission per attempt, bounded
+// jittered retries of transient failures, and a single final-outcome
+// report to the gate. With the zero Resilience it collapses to the
+// original single-shot path.
+func (b *Browser) doRequest(method string, u *url.URL, form url.Values, cur string, limit int) (response, error) {
+	res := &b.Resilience
+	if res.Retries <= 0 && res.Gate == nil {
+		req := b.newRequest(method, u, form)
+		if res.Ctx != nil {
+			req = req.WithContext(res.Ctx)
+		}
+		return b.roundTrip(req, cur, limit)
+	}
+
+	host := u.Hostname()
+	backoff := res.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	b.rtCalls++
+	call := b.rtCalls
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if res.Gate != nil {
+			if err := res.Gate.Acquire(res.ctx(), host); err != nil {
+				// A breaker fail-fast (or ctx cancellation) is definitive
+				// for this request and deliberately NOT reported back to
+				// the gate — denials must not feed the failure streak.
+				if isCircuitOpen(err) && res.Meter != nil {
+					res.Meter.BreakerDenial()
+				}
+				return response{}, err
+			}
+		}
+		req := b.newRequest(method, u, form)
+		rctx := res.Ctx
+		if attempt > 0 {
+			base := rctx
+			if base == nil {
+				base = context.Background()
+			}
+			rctx = WithAttempt(base, attempt)
+		}
+		if rctx != nil {
+			req = req.WithContext(rctx)
+		}
+		resp, err := b.roundTrip(req, cur, limit)
+		switch {
+		case err == nil && (resp.status < 500 || res.Retries <= 0):
+			// Success — including 4xx (deterministic web content) and,
+			// without a retry budget, 5xx: both are the pre-resilience
+			// behavior.
+			if res.Gate != nil {
+				res.Gate.Report(host, false)
+			}
+			return resp, nil
+		case err == nil:
+			lastErr = &statusError{url: cur, status: resp.status}
+		case IsTransient(err) && res.ctx().Err() == nil:
+			lastErr = err
+		default:
+			// Definitive transport error ("no such host", a canceled
+			// deadline): returned verbatim so clean-run error strings are
+			// unchanged by resilience. Not reported — the breaker tracks
+			// transport health, not deterministic web content.
+			return response{}, err
+		}
+		if attempt >= res.Retries {
+			tripped := res.Gate != nil && res.Gate.Report(host, true)
+			if tripped && res.Meter != nil {
+				res.Meter.BreakerTrip()
+			}
+			return response{}, &exhaustedError{url: cur, attempts: attempt + 1, err: lastErr}
+		}
+		if res.Meter != nil {
+			res.Meter.VisitRetry()
+		}
+		if err := res.sleep(xrand.JitterDuration(res.Seed, call, attempt, backoff)); err != nil {
+			return response{}, err
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}

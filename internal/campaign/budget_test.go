@@ -45,7 +45,7 @@ func TestBudgetBoundsConcurrentCampaigns(t *testing.T) {
 				t.Errorf("Run: %v", err)
 				return
 			}
-			if stats.Done != len(targets) {
+			if stats.Done != int64(len(targets)) {
 				t.Errorf("done = %d, want %d", stats.Done, len(targets))
 			}
 			for i, v := range got {
@@ -105,7 +105,7 @@ func TestBudgetCancellationWhileWaiting(t *testing.T) {
 	if runErr == nil {
 		t.Fatal("expected cancellation error")
 	}
-	if stats.Done+stats.Canceled != len(targets) {
+	if stats.Done+stats.Canceled != int64(len(targets)) {
 		t.Fatalf("done %d + canceled %d != %d targets", stats.Done, stats.Canceled, len(targets))
 	}
 	if stats.Canceled == 0 {

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Config parameterizes one campaign run.
@@ -167,10 +168,73 @@ type Progress struct {
 	// (always ≤ Done; zero outside Resume). Done - Replayed is the
 	// fresh-visit count.
 	Replayed int64
+	// Retries counts retried request attempts across all visits so far
+	// (see Meter) — zero unless the visit layer runs with resilience
+	// enabled.
+	Retries int64
+	// BreakerTrips counts per-host circuit breakers tripped open.
+	BreakerTrips int64
+	// BreakerDenials counts requests refused outright by an open
+	// breaker.
+	BreakerDenials int64
 }
 
 // Fresh returns the deliveries that ran a real visit (Done - Replayed).
 func (p Progress) Fresh() int64 { return p.Done - p.Replayed }
+
+// Meter accumulates resilience events — retries, breaker trips,
+// breaker denials — from a campaign's visit functions. The engine
+// creates one per campaign and injects it into every visit's context;
+// visits (or the browser layer beneath them) retrieve it with
+// MeterFrom and report events. All methods are safe for concurrent
+// use and on a nil receiver, so visit code never needs a guard.
+type Meter struct {
+	retries        atomic.Int64
+	breakerTrips   atomic.Int64
+	breakerDenials atomic.Int64
+}
+
+// VisitRetry counts one retried request attempt.
+func (m *Meter) VisitRetry() {
+	if m != nil {
+		m.retries.Add(1)
+	}
+}
+
+// BreakerTrip counts one circuit breaker opening.
+func (m *Meter) BreakerTrip() {
+	if m != nil {
+		m.breakerTrips.Add(1)
+	}
+}
+
+// BreakerDenial counts one request refused by an open breaker.
+func (m *Meter) BreakerDenial() {
+	if m != nil {
+		m.breakerDenials.Add(1)
+	}
+}
+
+func (m *Meter) counts() (retries, trips, denials int64) {
+	if m == nil {
+		return 0, 0, 0
+	}
+	return m.retries.Load(), m.breakerTrips.Load(), m.breakerDenials.Load()
+}
+
+type meterKey struct{}
+
+// MeterFrom returns the campaign's Meter from a visit context, or nil
+// when the visit is not running under a campaign engine (direct
+// Visit calls, tests). The nil Meter is fully usable.
+func MeterFrom(ctx context.Context) *Meter {
+	m, _ := ctx.Value(meterKey{}).(*Meter)
+	return m
+}
+
+func withMeter(ctx context.Context, m *Meter) context.Context {
+	return context.WithValue(ctx, meterKey{}, m)
+}
 
 // Result carries one visit's outcome to the sink.
 type Result[R any] struct {
@@ -185,48 +249,64 @@ type Result[R any] struct {
 	Err error
 }
 
-// ShardStats is the per-shard account of one campaign.
+// ShardStats is the per-shard account of one campaign. All counters
+// share Progress's int64 width, so accounting never narrows on its
+// way to a progress line.
 type ShardStats struct {
 	Shard   int
 	Targets int
 	// Done counts delivered results (successes and errors alike),
 	// replayed or fresh.
-	Done int
+	Done int64
 	// Errors counts deliveries whose visit returned an error (replayed
 	// errors included — a resumed run's ledger matches the
 	// uninterrupted one's).
-	Errors int
+	Errors int64
 	// Canceled counts targets never visited because the campaign was
 	// canceled first.
-	Canceled int
+	Canceled int64
 	// Replayed counts deliveries served from the checkpoint journal
 	// instead of a fresh visit (always ≤ Done; zero outside Resume).
-	Replayed int
+	Replayed int64
+	// Retries, BreakerTrips and BreakerDenials account the resilience
+	// events this shard's visits reported to the campaign Meter (zero
+	// when the visit layer runs without retries/breakers).
+	Retries        int64
+	BreakerTrips   int64
+	BreakerDenials int64
 }
 
 // Fresh returns the shard's fresh-visit count (Done - Replayed).
-func (s ShardStats) Fresh() int { return s.Done - s.Replayed }
+func (s ShardStats) Fresh() int64 { return s.Done - s.Replayed }
 
 // Stats is the whole-campaign account, the sum of its shards.
 type Stats struct {
 	Targets  int
-	Done     int
-	Errors   int
-	Canceled int
+	Done     int64
+	Errors   int64
+	Canceled int64
 	// Replayed counts deliveries served from the checkpoint journal
 	// (see ShardStats.Replayed).
-	Replayed int
-	Shards   []ShardStats
+	Replayed int64
+	// Retries, BreakerTrips and BreakerDenials sum the per-shard
+	// resilience counters (see ShardStats).
+	Retries        int64
+	BreakerTrips   int64
+	BreakerDenials int64
+	Shards         []ShardStats
 }
 
 // Fresh returns the campaign's fresh-visit count (Done - Replayed).
-func (s Stats) Fresh() int { return s.Done - s.Replayed }
+func (s Stats) Fresh() int64 { return s.Done - s.Replayed }
 
 func (s *Stats) add(sh ShardStats) {
 	s.Done += sh.Done
 	s.Errors += sh.Errors
 	s.Canceled += sh.Canceled
 	s.Replayed += sh.Replayed
+	s.Retries += sh.Retries
+	s.BreakerTrips += sh.BreakerTrips
+	s.BreakerDenials += sh.BreakerDenials
 	s.Shards = append(s.Shards, sh)
 }
 
@@ -265,21 +345,33 @@ func run[T, R any](ctx context.Context, cfg Config, targets []T,
 	nShards := cfg.shards(len(targets))
 	stats := Stats{Targets: len(targets)}
 	total := int64(len(targets))
+	// One Meter per campaign: visits report resilience events into it
+	// through their context, and per-shard deltas are cut at shard
+	// boundaries (shards run strictly one after another).
+	meter := &Meter{}
 	for shard := 0; shard < nShards; shard++ {
 		lo, hi := ShardRange(len(targets), nShards, shard)
 		if ctx.Err() != nil {
 			// Campaign cut short: account the remaining shards without
 			// spinning up their pools. Progress consumers still see each
 			// skipped shard so the final snapshot reaches Shards/Shards.
-			stats.add(ShardStats{Shard: shard, Targets: hi - lo, Canceled: hi - lo})
+			stats.add(ShardStats{Shard: shard, Targets: hi - lo, Canceled: int64(hi - lo)})
 		} else {
-			stats.add(runShard(ctx, cfg, targets, visit, sink, shard, nShards, lo, hi, &stats, total, ck, replay))
+			preR, preT, preD := meter.counts()
+			sh := runShard(ctx, cfg, targets, visit, sink, shard, nShards, lo, hi, &stats, total, meter, ck, replay)
+			postR, postT, postD := meter.counts()
+			sh.Retries = postR - preR
+			sh.BreakerTrips = postT - preT
+			sh.BreakerDenials = postD - preD
+			stats.add(sh)
 		}
 		if cfg.OnProgress != nil {
 			cfg.OnProgress(Progress{
 				Label: cfg.Label, Shard: shard + 1, Shards: nShards,
-				Done: int64(stats.Done), Total: total, Errors: int64(stats.Errors),
-				Replayed: int64(stats.Replayed),
+				Done: stats.Done, Total: total, Errors: stats.Errors,
+				Replayed: stats.Replayed,
+				Retries:  stats.Retries, BreakerTrips: stats.BreakerTrips,
+				BreakerDenials: stats.BreakerDenials,
 			})
 		}
 	}
@@ -318,7 +410,7 @@ type shardResult[R any] struct {
 func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 	visit func(context.Context, T) (R, error), sink func(Result[R]),
 	shard, nShards, lo, hi int, sofar *Stats, total int64,
-	ck *checkpointState, replay map[int]journalRecord) ShardStats {
+	meter *Meter, ck *checkpointState, replay map[int]journalRecord) ShardStats {
 
 	var jw *journalWriter
 	if ck != nil && !ck.dead.Load() {
@@ -347,6 +439,9 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One context wrap per worker goroutine, not per visit: the
+			// meter rides to the visit layer as a context value.
+			vctx := withMeter(ctx, meter)
 			for i := range idxCh {
 				r := Result[R]{Index: i, Shard: shard}
 				if ctx.Err() != nil {
@@ -378,7 +473,7 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 					resCh <- shardResult[R]{res: r, canceled: true}
 					continue
 				}
-				r.Value, r.Err = visit(ctx, targets[i])
+				r.Value, r.Err = visit(vctx, targets[i])
 				cfg.Budget.release()
 				sr := shardResult[R]{res: r}
 				if ck != nil && !ck.dead.Load() {
@@ -416,7 +511,7 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 	go func() { wg.Wait(); close(resCh) }()
 
 	sh := ShardStats{Shard: shard, Targets: hi - lo}
-	progressEvery := cfg.ProgressEvery
+	progressEvery := int64(cfg.ProgressEvery)
 	if progressEvery <= 0 {
 		progressEvery = 1000
 	}
@@ -456,12 +551,16 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 				}
 			}
 			if cfg.OnProgress != nil && (sh.Done+sh.Canceled)%progressEvery == 0 {
+				retries, trips, denials := meter.counts()
 				cfg.OnProgress(Progress{
 					Label: cfg.Label, Shard: shard + 1, Shards: nShards,
-					Done:     int64(sofar.Done + sh.Done),
+					Done:     sofar.Done + sh.Done,
 					Total:    total,
-					Errors:   int64(sofar.Errors + sh.Errors),
-					Replayed: int64(sofar.Replayed + sh.Replayed),
+					Errors:   sofar.Errors + sh.Errors,
+					Replayed: sofar.Replayed + sh.Replayed,
+					// The meter counts campaign-globally and shards run
+					// sequentially, so its totals are exact here.
+					Retries: retries, BreakerTrips: trips, BreakerDenials: denials,
 				})
 			}
 		}
@@ -473,7 +572,7 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 		}
 	}
 	// Dispatch stopped early on cancellation: the never-dispatched tail.
-	sh.Canceled += (hi - lo) - sh.Done - sh.Canceled
+	sh.Canceled += int64(hi-lo) - sh.Done - sh.Canceled
 	return sh
 }
 

@@ -51,7 +51,7 @@ func TestRunDeliversInOrder(t *testing.T) {
 			if err != nil {
 				t.Fatalf("w=%d s=%d: %v", workers, shards, err)
 			}
-			if stats.Done != len(targets) || stats.Errors != 0 || stats.Canceled != 0 {
+			if stats.Done != int64(len(targets)) || stats.Errors != 0 || stats.Canceled != 0 {
 				t.Fatalf("w=%d s=%d: stats = %+v", workers, shards, stats)
 			}
 			if len(stats.Shards) != shards {
@@ -119,7 +119,7 @@ func TestPerShardErrorAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Errors != len(failing) {
+	if stats.Errors != int64(len(failing)) {
 		t.Fatalf("total errors = %d, want %d", stats.Errors, len(failing))
 	}
 	// Shards are contiguous equal ranges: [0,25) [25,50) [50,75) [75,100).
@@ -128,7 +128,7 @@ func TestPerShardErrorAccounting(t *testing.T) {
 		if sh.Targets != 25 {
 			t.Fatalf("shard %d targets = %d", i, sh.Targets)
 		}
-		if sh.Errors != wantPerShard[i] {
+		if sh.Errors != int64(wantPerShard[i]) {
 			t.Fatalf("shard %d errors = %d, want %d", i, sh.Errors, wantPerShard[i])
 		}
 	}
@@ -173,7 +173,7 @@ func TestCancellationPromptNoLeaks(t *testing.T) {
 	if !errors.Is(runErr, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", runErr)
 	}
-	if stats.Done+stats.Canceled != len(targets) {
+	if stats.Done+stats.Canceled != int64(len(targets)) {
 		t.Fatalf("done %d + canceled %d != %d targets", stats.Done, stats.Canceled, len(targets))
 	}
 	if stats.Canceled == 0 {

@@ -140,7 +140,7 @@ func runChaosFleet(t *testing.T, seed uint64) {
 		saveChaosArtifacts(t, seed, dir)
 		t.Fatal(err)
 	}
-	if stats.Replayed != len(targets) {
+	if stats.Replayed != int64(len(targets)) {
 		saveChaosArtifacts(t, seed, dir)
 		t.Fatalf("replayed %d of %d", stats.Replayed, len(targets))
 	}

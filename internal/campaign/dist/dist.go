@@ -210,11 +210,10 @@ func (c *Client) httpClient() *http.Client {
 
 // jitter maps (seed, call, attempt) to a delay in [base/2, base] —
 // full determinism for tests, decorrelation across workers and calls
-// for the fleet.
+// for the fleet. The formula lives in xrand.JitterDuration so the
+// browser's visit retries share the exact discipline.
 func jitter(seed, call uint64, attempt int, base time.Duration) time.Duration {
-	half := base / 2
-	h := xrand.Mix64(xrand.Mix64(seed, call), uint64(attempt))
-	return half + time.Duration(h%uint64(half+1))
+	return xrand.JitterDuration(seed, call, attempt, base)
 }
 
 // do issues one request with bounded-backoff retries of transient

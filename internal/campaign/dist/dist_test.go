@@ -282,7 +282,7 @@ func TestWorkerFleetWithLostWorker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Replayed != len(targets) {
+	if stats.Replayed != int64(len(targets)) {
 		t.Fatalf("replayed %d of %d", stats.Replayed, len(targets))
 	}
 	for i := range got {

@@ -121,7 +121,7 @@ func TestCoordinatorCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Replayed != len(targets) || len(got) != len(targets) {
+	if stats.Replayed != int64(len(targets)) || len(got) != len(targets) {
 		t.Fatalf("replayed %d, delivered %d of %d", stats.Replayed, len(got), len(targets))
 	}
 }

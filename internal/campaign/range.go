@@ -62,11 +62,16 @@ func RunRange[T, R any](ctx context.Context, cfg Config, targets []T, shard, sha
 		}
 	}
 	stats := Stats{Targets: hi - lo}
-	stats.add(runShard(ctx, cfg, targets, visit, sink, shard, shards, lo, hi, &stats, int64(hi-lo), ck, nil))
+	meter := &Meter{}
+	sh := runShard(ctx, cfg, targets, visit, sink, shard, shards, lo, hi, &stats, int64(hi-lo), meter, ck, nil)
+	sh.Retries, sh.BreakerTrips, sh.BreakerDenials = meter.counts()
+	stats.add(sh)
 	if cfg.OnProgress != nil {
 		cfg.OnProgress(Progress{
 			Label: cfg.Label, Shard: shard + 1, Shards: shards,
-			Done: int64(stats.Done), Total: int64(hi - lo), Errors: int64(stats.Errors),
+			Done: stats.Done, Total: int64(hi - lo), Errors: stats.Errors,
+			Retries: stats.Retries, BreakerTrips: stats.BreakerTrips,
+			BreakerDenials: stats.BreakerDenials,
 		})
 	}
 	if stats.Canceled > 0 || ctx.Err() != nil {

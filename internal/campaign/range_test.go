@@ -90,7 +90,7 @@ func TestRunRangeAssembly(t *testing.T) {
 		if err != nil {
 			t.Fatalf("shard %d: %v", s, err)
 		}
-		if stats.Done != hi-lo {
+		if stats.Done != int64(hi-lo) {
 			t.Fatalf("shard %d: done %d of %d", s, stats.Done, hi-lo)
 		}
 		data, err := os.ReadFile(filepath.Join(dir, ShardFilename(s)))

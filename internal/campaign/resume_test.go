@@ -109,7 +109,7 @@ func TestResumeEveryKillPoint(t *testing.T) {
 		if got, want := strings.Join(phase2, "\n"), strings.Join(reference, "\n"); got != want {
 			t.Fatalf("kill=%d: resumed delivery sequence differs from uninterrupted run\n got: %q\nwant: %q", kill, got, want)
 		}
-		if stats.Done != n || stats.Replayed != len(phase1) || stats.Fresh() != n-len(phase1) {
+		if stats.Done != n || stats.Replayed != int64(len(phase1)) || stats.Fresh() != int64(n-len(phase1)) {
 			t.Fatalf("kill=%d: stats done=%d replayed=%d fresh=%d, phase1 delivered %d",
 				kill, stats.Done, stats.Replayed, stats.Fresh(), len(phase1))
 		}
@@ -178,7 +178,7 @@ func TestResumeAfterResume(t *testing.T) {
 	if got, want := strings.Join(final, "\n"), strings.Join(reference, "\n"); got != want {
 		t.Fatalf("double-resume sequence differs\n got: %q\nwant: %q", got, want)
 	}
-	if stats.Replayed < kills[1] {
+	if stats.Replayed < int64(kills[1]) {
 		t.Fatalf("replayed %d < %d journaled", stats.Replayed, kills[1])
 	}
 }
@@ -429,7 +429,7 @@ func TestResumeMissingManifestWipesStaleJournals(t *testing.T) {
 				t.Fatalf("round %d: replayed a foreign record: %q", round, entry)
 			}
 		}
-		wantReplayed := 0
+		wantReplayed := int64(0)
 		if round == 1 {
 			wantReplayed = n // round 0 re-journaled campaign Y
 		}

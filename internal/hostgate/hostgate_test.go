@@ -1,0 +1,234 @@
+package hostgate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock shared by Now and Sleep so
+// rate-limiter tests never wait on real time.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := context.Cause(ctx); err != nil {
+		return err
+	}
+	c.Advance(d)
+	return nil
+}
+
+func TestNewNilWhenDisabled(t *testing.T) {
+	if g := New(Config{}); g != nil {
+		t.Fatalf("New with zero config = %v, want nil", g)
+	}
+	var g *Gate
+	if err := g.Acquire(context.Background(), "a.example"); err != nil {
+		t.Fatalf("nil gate Acquire: %v", err)
+	}
+	if g.Report("a.example", true) {
+		t.Fatal("nil gate Report tripped")
+	}
+}
+
+func TestRateLimiterPacesRequests(t *testing.T) {
+	clk := newFakeClock()
+	g := New(Config{PerHostRPS: 10, Burst: 2, Now: clk.Now, Sleep: clk.Sleep})
+	ctx := context.Background()
+	start := clk.Now()
+	// Burst of 2 goes through instantly; the next 8 must each wait for
+	// a 100ms refill.
+	for i := 0; i < 10; i++ {
+		if err := g.Acquire(ctx, "a.example"); err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+	}
+	elapsed := clk.Now().Sub(start)
+	want := 800 * time.Millisecond
+	if elapsed < want || elapsed > want+50*time.Millisecond {
+		t.Fatalf("10 acquires at 10 rps burst 2 took %v, want ~%v", elapsed, want)
+	}
+	// A different host has its own bucket: no waiting.
+	before := clk.Now()
+	if err := g.Acquire(ctx, "b.example"); err != nil {
+		t.Fatalf("Acquire other host: %v", err)
+	}
+	if d := clk.Now().Sub(before); d != 0 {
+		t.Fatalf("fresh host waited %v, want 0", d)
+	}
+}
+
+func TestRateLimiterHonorsContext(t *testing.T) {
+	clk := newFakeClock()
+	g := New(Config{PerHostRPS: 1, Burst: 1, Now: clk.Now, Sleep: func(ctx context.Context, d time.Duration) error {
+		return context.Canceled
+	}})
+	ctx := context.Background()
+	if err := g.Acquire(ctx, "a.example"); err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	if err := g.Acquire(ctx, "a.example"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire after cancel = %v, want context.Canceled", err)
+	}
+}
+
+func TestBreakerOpensHalfOpensAndCloses(t *testing.T) {
+	clk := newFakeClock()
+	g := New(Config{BreakerThreshold: 3, BreakerCooldown: time.Second, Now: clk.Now, Sleep: clk.Sleep})
+	ctx := context.Background()
+	host := "dead.example"
+
+	// Two failures: still closed.
+	for i := 0; i < 2; i++ {
+		if err := g.Acquire(ctx, host); err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+		if g.Report(host, true) {
+			t.Fatalf("Report %d tripped early", i)
+		}
+	}
+	// Third consecutive failure trips it.
+	if err := g.Acquire(ctx, host); err != nil {
+		t.Fatalf("Acquire 3: %v", err)
+	}
+	if !g.Report(host, true) {
+		t.Fatal("threshold-th failure did not trip the breaker")
+	}
+	// Open: fail fast.
+	err := g.Acquire(ctx, host)
+	if !IsCircuitOpen(err) {
+		t.Fatalf("Acquire while open = %v, want circuit-open", err)
+	}
+	if IsCircuitOpen(fmt.Errorf("wrapped: %w", errors.New("other"))) {
+		t.Fatal("IsCircuitOpen misclassified an unrelated error")
+	}
+	if !IsCircuitOpen(fmt.Errorf("visit: %w", err)) {
+		t.Fatal("IsCircuitOpen failed to see through wrapping")
+	}
+
+	// After the cooldown a single probe is admitted; a second caller
+	// still fails fast while the probe is in flight.
+	clk.Advance(time.Second)
+	if err := g.Acquire(ctx, host); err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	if err := g.Acquire(ctx, host); !IsCircuitOpen(err) {
+		t.Fatalf("second caller during probe = %v, want circuit-open", err)
+	}
+	// Probe fails: straight back to open, cooldown restarted.
+	if !g.Report(host, true) {
+		t.Fatal("failed probe did not re-trip")
+	}
+	if err := g.Acquire(ctx, host); !IsCircuitOpen(err) {
+		t.Fatalf("after failed probe = %v, want circuit-open", err)
+	}
+
+	// Next probe succeeds: breaker closes, traffic flows again.
+	clk.Advance(time.Second)
+	if err := g.Acquire(ctx, host); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	if g.Report(host, false) {
+		t.Fatal("successful probe reported as trip")
+	}
+	if err := g.Acquire(ctx, host); err != nil {
+		t.Fatalf("post-recovery Acquire: %v", err)
+	}
+
+	trips, denials := g.Counters()
+	if trips != 2 {
+		t.Fatalf("trips = %d, want 2", trips)
+	}
+	if denials < 3 {
+		t.Fatalf("denials = %d, want >= 3", denials)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	g := New(Config{BreakerThreshold: 2})
+	host := "flaky.example"
+	g.Report(host, true)
+	g.Report(host, false) // streak reset
+	if g.Report(host, true) {
+		t.Fatal("tripped without threshold consecutive failures")
+	}
+	if !g.Report(host, true) {
+		t.Fatal("did not trip after threshold consecutive failures")
+	}
+}
+
+// TestGateHammer drives one Gate from many goroutines across a few
+// hosts with mixed outcomes — the -race gate for the shared mutable
+// state (buckets, breakers, counters). Invariant checked at the end:
+// every denial corresponds to a breaker that was open, and the gate
+// never deadlocks.
+func TestGateHammer(t *testing.T) {
+	clk := newFakeClock()
+	g := New(Config{
+		PerHostRPS:       1000,
+		Burst:            4,
+		BreakerThreshold: 5,
+		BreakerCooldown:  10 * time.Millisecond,
+		Now:              clk.Now,
+		Sleep:            clk.Sleep,
+	})
+	ctx := context.Background()
+	hosts := []string{"a.example", "b.example", "c.example", "d.example"}
+	var wg sync.WaitGroup
+	var ok, denied atomic.Int64
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				host := hosts[(w+i)%len(hosts)]
+				err := g.Acquire(ctx, host)
+				if IsCircuitOpen(err) {
+					denied.Add(1)
+					continue
+				}
+				if err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				ok.Add(1)
+				// host "d.example" always fails; the rest always succeed.
+				g.Report(host, host == "d.example")
+			}
+		}(w)
+	}
+	wg.Wait()
+	trips, denials := g.Counters()
+	if ok.Load() == 0 {
+		t.Fatal("no request ever admitted")
+	}
+	if trips == 0 {
+		t.Fatal("always-failing host never tripped its breaker")
+	}
+	if denials != denied.Load() {
+		t.Fatalf("gate counted %d denials, callers saw %d", denials, denied.Load())
+	}
+}

@@ -44,12 +44,18 @@ type analysisShard struct {
 	m  map[uint64]*analysisEntry
 }
 
-// analysisEntry is one fingerprint's singleflight slot. a is written
-// exactly once, before done is closed; readers wait on done first, so
-// the channel's happens-before edge publishes a race-free.
+// analysisEntry is one fingerprint's singleflight slot. a and failed
+// are written exactly once, before done is closed; readers wait on
+// done first, so the channel's happens-before edge publishes both
+// race-free.
 type analysisEntry struct {
 	done chan struct{}
 	a    core.Analysis
+	// failed marks a claim whose compute errored (a composition
+	// degraded by transport faults) or died: the entry was already
+	// unpublished, and waiters must re-claim instead of consuming it —
+	// a failed fetch can never seed the memo.
+	failed bool
 }
 
 // get returns the memoized analysis for fp, computing it via compute
@@ -57,40 +63,63 @@ type analysisEntry struct {
 // callers with the same fingerprint block until it finishes and share
 // the result.
 func (c *analysisCache) get(fp uint64, compute func() core.Analysis) core.Analysis {
+	a, _ := c.getChecked(fp, func() (core.Analysis, error) { return compute(), nil })
+	return a
+}
+
+// getChecked is get for computations that can fail: a compute error is
+// returned to the claiming caller only, the entry is unpublished, and
+// any concurrent waiters on the same fingerprint loop back to claim
+// the slot themselves — their own visit's fetch decides their outcome.
+// Nothing about a failure is ever memoized.
+func (c *analysisCache) getChecked(fp uint64, compute func() (core.Analysis, error)) (core.Analysis, error) {
 	s := &c.shards[fp%analysisShards]
-	s.mu.Lock()
-	if e, ok := s.m[fp]; ok {
+	for {
+		s.mu.Lock()
+		if e, ok := s.m[fp]; ok {
+			s.mu.Unlock()
+			<-e.done
+			if e.failed {
+				continue
+			}
+			return e.a, nil
+		}
+		e := &analysisEntry{done: make(chan struct{})}
+		if s.m == nil || len(s.m) >= analysisShardMax {
+			s.m = make(map[uint64]*analysisEntry, 64)
+		}
+		s.m[fp] = e
 		s.mu.Unlock()
-		<-e.done
-		return e.a
+		return c.fill(s, fp, e, compute)
 	}
-	e := &analysisEntry{done: make(chan struct{})}
-	if s.m == nil || len(s.m) >= analysisShardMax {
-		s.m = make(map[uint64]*analysisEntry, 64)
-	}
-	s.m[fp] = e
-	s.mu.Unlock()
+}
+
+// fill runs compute for a freshly claimed entry: success publishes the
+// analysis; an error — or a compute that panics or runs runtime.Goexit
+// (t.Fatal in a test helper) — unpublishes the entry so later visits
+// recompute, marks it failed, and unblocks waiters into re-claiming.
+func (c *analysisCache) fill(s *analysisShard, fp uint64, e *analysisEntry, compute func() (core.Analysis, error)) (core.Analysis, error) {
 	completed := false
 	defer func() {
 		if completed {
 			return
 		}
-		// compute panicked or ran runtime.Goexit (t.Fatal in a test
-		// helper): unpublish the entry so later visits recompute, and
-		// unblock anyone already waiting — they observe the zero
-		// Analysis in a process that is already failing, instead of
-		// deadlocking on a channel nobody will ever close.
 		s.mu.Lock()
 		if s.m[fp] == e {
 			delete(s.m, fp)
 		}
 		s.mu.Unlock()
+		e.failed = true
 		close(e.done)
 	}()
-	e.a = compute()
+	a, err := compute()
+	if err != nil {
+		return core.Analysis{}, err
+	}
+	e.a = a
 	completed = true
 	close(e.done)
-	return e.a
+	return a, nil
 }
 
 // seededDone is the pre-closed channel shared by every seeded entry:

@@ -134,8 +134,8 @@ func TestVisitAnalysisCacheEquivalence(t *testing.T) {
 	}
 	for _, vp := range vantage.All() {
 		for _, domain := range targets {
-			cached := c.Visit(vp, domain, VisitOpts{})
-			direct := plain.Visit(vp, domain, VisitOpts{})
+			cached := c.Visit(context.Background(), vp, domain, VisitOpts{})
+			direct := plain.Visit(context.Background(), vp, domain, VisitOpts{})
 			if !reflect.DeepEqual(cached, direct) {
 				t.Fatalf("%s from %s: cached observation %+v != uncached %+v",
 					domain, vp.Name, cached, direct)
@@ -204,13 +204,13 @@ func TestAnalysisFingerprintFallbackHash(t *testing.T) {
 			// truth: had the fallback hash folded two distinct pages
 			// onto one memo entry, the cached observations here would
 			// diverge from it for at least one (domain, VP).
-			want := inproc.Visit(vp, domain, VisitOpts{})
-			got := overWire.Visit(vp, domain, VisitOpts{})
+			want := inproc.Visit(context.Background(), vp, domain, VisitOpts{})
+			got := overWire.Visit(context.Background(), vp, domain, VisitOpts{})
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("%s from %s: real-listener observation %+v != in-process %+v",
 					domain, vp.Name, got, want)
 			}
-			direct := overWireDirect.Visit(vp, domain, VisitOpts{})
+			direct := overWireDirect.Visit(context.Background(), vp, domain, VisitOpts{})
 			if !reflect.DeepEqual(direct, want) {
 				t.Fatalf("%s from %s: real-listener uncached observation diverges", domain, vp.Name)
 			}
@@ -225,7 +225,7 @@ func TestAnalyzeOneUsesCampaignEngine(t *testing.T) {
 	c, _ := fixture(t)
 	domain := c.Reg.TargetList()[0]
 	vp := germanyVP()
-	direct := c.Visit(vp, domain, VisitOpts{})
+	direct := c.Visit(context.Background(), vp, domain, VisitOpts{})
 	viaEngine, err := c.AnalyzeOne(context.Background(), vp, domain, VisitOpts{})
 	if err != nil {
 		t.Fatal(err)

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"cookiewalk/internal/adblock"
 	"cookiewalk/internal/browser"
@@ -80,6 +81,25 @@ type Crawler struct {
 	// own Workers-sized pool. Purely a scheduling knob — results are
 	// identical with or without it.
 	Budget *campaign.Budget
+	// VisitTimeout, when positive, bounds each visit's wall clock: the
+	// deadline context is attached to every request the visit makes, so
+	// stalls and slow hosts cut off instead of wedging a worker.
+	VisitTimeout time.Duration
+	// VisitRetries, when positive, retries transient transport failures
+	// per request (timeouts, resets, 5xx, torn bodies) with seeded
+	// decorrelated-jitter backoff before giving up. Faults that a retry
+	// erases leave results byte-identical to a clean transport's;
+	// exhausted budgets surface as visit errors, never partial pages.
+	VisitRetries int
+	// RetryBackoff is the initial retry delay (default 100ms, doubled
+	// per attempt, capped at 2s).
+	RetryBackoff time.Duration
+	// RetrySeed seeds the retry jitter (timing only, never results).
+	RetrySeed uint64
+	// Gate, when set, is the shared per-host admission controller
+	// (rate limiter + circuit breakers, see internal/hostgate) consulted
+	// around every request of every visit.
+	Gate browser.HostGate
 }
 
 // New returns a Crawler.
@@ -142,6 +162,38 @@ func (c *Crawler) acquireBrowser(vp vantage.VP) *browser.Browser {
 
 func releaseBrowser(b *browser.Browser) { browserPool.Put(b) }
 
+// session returns a fresh-profile browser armed with the crawler's
+// resilience policy (visit deadline, retries, host gate, and the
+// campaign meter carried by ctx), plus a cancel that is non-nil
+// exactly when a visit timeout was armed — call it (and
+// releaseBrowser) when the visit is done. With no policy configured
+// it degenerates to acquireBrowser: the zero-Resilience browser pays
+// nothing.
+func (c *Crawler) session(ctx context.Context, vp vantage.VP) (*browser.Browser, context.CancelFunc) {
+	b := c.acquireBrowser(vp)
+	var cancel context.CancelFunc
+	if c.VisitTimeout > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var tctx context.Context
+		tctx, cancel = context.WithTimeout(ctx, c.VisitTimeout)
+		b.Resilience.Ctx = tctx
+	}
+	if c.VisitRetries > 0 || c.Gate != nil {
+		b.Resilience.Retries = c.VisitRetries
+		b.Resilience.Backoff = c.RetryBackoff
+		b.Resilience.Seed = c.RetrySeed
+		b.Resilience.Gate = c.Gate
+		if ctx != nil {
+			if m := campaign.MeterFrom(ctx); m != nil {
+				b.Resilience.Meter = m
+			}
+		}
+	}
+	return b, cancel
+}
+
 // Observation is the per-site outcome of one measurement visit.
 type Observation struct {
 	Domain string
@@ -203,7 +255,9 @@ type VisitOpts struct {
 }
 
 // Visit loads one site from one vantage point with a fresh profile and
-// analyzes its banner.
+// analyzes its banner. ctx carries the campaign's cancellation,
+// deadline base and resilience meter; direct callers pass
+// context.Background().
 //
 // The visit is split in two: a per-visit FETCH (transport dispatch,
 // cookies, vantage headers) and a VP-independent ANALYSIS (parse,
@@ -212,10 +266,20 @@ type VisitOpts struct {
 // eighth vantage points of a landscape crawl loading an identical
 // render — the visit never parses the page at all; only the per-visit
 // Domain/VP fields are stamped onto the shared analysis.
-func (c *Crawler) Visit(vp vantage.VP, domain string, opts VisitOpts) Observation {
+//
+// Memo-poisoning invariant: the analysis memo is only ever filled
+// from a composition whose every fetch either succeeded (post-retry)
+// or failed deterministically. A composition degraded by exhausted
+// transient retries is an error — the observation carries Err and a
+// zero Fingerprint, nothing is memoized, and concurrent visits
+// waiting on the same fingerprint re-claim and recompute.
+func (c *Crawler) Visit(ctx context.Context, vp vantage.VP, domain string, opts VisitOpts) Observation {
 	obs := Observation{Domain: domain, VP: vp.Name}
-	b := c.acquireBrowser(vp)
+	b, cancel := c.session(ctx, vp)
 	defer releaseBrowser(b)
+	if cancel != nil {
+		defer cancel()
+	}
 	b.Visit = opts.Visit
 	b.Blocker = opts.Blocker
 	fr, err := b.FetchTop("https://" + domain + "/")
@@ -223,15 +287,28 @@ func (c *Crawler) Visit(vp vantage.VP, domain string, opts VisitOpts) Observatio
 		obs.Err = err.Error()
 		return obs
 	}
-	obs.Fingerprint = fr.Fingerprint
 	var a core.Analysis
 	if c.NoAnalysisCache {
 		a = analyzePage(b.Compose(fr))
+		if cerr := b.ComposeErr(); cerr != nil {
+			obs.Err = cerr.Error()
+			return obs
+		}
 	} else {
-		a = analyses.get(fr.Fingerprint, func() core.Analysis {
-			return analyzePage(b.Compose(fr))
+		var aerr error
+		a, aerr = analyses.getChecked(fr.Fingerprint, func() (core.Analysis, error) {
+			page := b.Compose(fr)
+			if cerr := b.ComposeErr(); cerr != nil {
+				return core.Analysis{}, cerr
+			}
+			return analyzePage(page), nil
 		})
+		if aerr != nil {
+			obs.Err = aerr.Error()
+			return obs
+		}
 	}
+	obs.Fingerprint = fr.Fingerprint
 	obs.setAnalysis(a)
 	return obs
 }
@@ -313,8 +390,8 @@ func (c *Crawler) AnalyzeOne(ctx context.Context, vp vantage.VP, domain string, 
 	var obs Observation
 	var visitErr error
 	_, err := campaign.Run(ctx, c.engine("analyze "+domain), []string{domain},
-		func(_ context.Context, d string) (Observation, error) {
-			o := c.Visit(vp, d, opts)
+		func(ctx context.Context, d string) (Observation, error) {
+			o := c.Visit(ctx, vp, d, opts)
 			if o.Err != "" {
 				return o, errors.New(o.Err)
 			}
@@ -378,7 +455,7 @@ func (c *Crawler) MeasureCookies(ctx context.Context, vp vantage.VP, label strin
 			ok := 0
 			var lastErr string
 			for rep := 0; rep < reps; rep++ {
-				tally, err := c.cookieVisit(vp, domain, rep, mode, smpToken)
+				tally, err := c.cookieVisit(ctx, vp, domain, rep, mode, smpToken)
 				if err != nil {
 					lastErr = err.Error()
 					continue
@@ -406,9 +483,12 @@ func (c *Crawler) MeasureCookies(ctx context.Context, vp vantage.VP, label strin
 	return out, err
 }
 
-func (c *Crawler) cookieVisit(vp vantage.VP, domain string, rep int, mode InteractionMode, smpToken string) (cookies.Tally, error) {
-	b := c.acquireBrowser(vp)
+func (c *Crawler) cookieVisit(ctx context.Context, vp vantage.VP, domain string, rep int, mode InteractionMode, smpToken string) (cookies.Tally, error) {
+	b, cancel := c.session(ctx, vp)
 	defer releaseBrowser(b)
+	if cancel != nil {
+		defer cancel()
+	}
 	b.Visit = fmt.Sprintf("%s|%d|%s", vp.Name, rep, modeLabel(mode))
 	b.SMPToken = smpToken
 	page, err := b.Open("https://" + domain + "/")

@@ -52,7 +52,7 @@ func TestLandscapeShardErrorAccounting(t *testing.T) {
 	if res.Errors != len(unreachable) {
 		t.Fatalf("aggregated errors = %d, want %d", res.Errors, len(unreachable))
 	}
-	if res.Stats.Errors != len(unreachable) || res.Stats.Done != len(targets) {
+	if res.Stats.Errors != int64(len(unreachable)) || res.Stats.Done != int64(len(targets)) {
 		t.Fatalf("engine stats = %+v", res.Stats)
 	}
 	if len(res.Stats.Shards) != 3 {
@@ -62,7 +62,7 @@ func TestLandscapeShardErrorAccounting(t *testing.T) {
 	lo := 0
 	for i, sh := range res.Stats.Shards {
 		hi := lo + sh.Targets
-		want := 0
+		want := int64(0)
 		for _, d := range targets[lo:hi] {
 			if unreachable[d] {
 				want++
@@ -71,7 +71,7 @@ func TestLandscapeShardErrorAccounting(t *testing.T) {
 		if sh.Errors != want {
 			t.Fatalf("shard %d errors = %d, want %d (range %d:%d)", i, sh.Errors, want, lo, hi)
 		}
-		if sh.Canceled != 0 || sh.Done != sh.Targets {
+		if sh.Canceled != 0 || sh.Done != int64(sh.Targets) {
 			t.Fatalf("shard %d stats = %+v", i, sh)
 		}
 		lo = hi
@@ -81,7 +81,7 @@ func TestLandscapeShardErrorAccounting(t *testing.T) {
 	}
 	// The transport failures surface as webfarm HostErrors in the
 	// observations the sink aggregated away from the cookiewall path.
-	o := c.Visit(vp, targets[sortedFirstUnreachable(targets, unreachable)], VisitOpts{})
+	o := c.Visit(context.Background(), vp, targets[sortedFirstUnreachable(targets, unreachable)], VisitOpts{})
 	if o.Err == "" || !strings.Contains(o.Err, "webfarm:") {
 		t.Fatalf("unreachable visit error = %q", o.Err)
 	}
@@ -126,7 +126,7 @@ func TestLandscapeCancellation(t *testing.T) {
 	if last.Stats.Canceled == 0 {
 		t.Fatalf("canceled VP ledger = %+v", last.Stats)
 	}
-	if last.Stats.Done+last.Stats.Canceled != len(reg.TargetList()) {
+	if last.Stats.Done+last.Stats.Canceled != int64(len(reg.TargetList())) {
 		t.Fatalf("ledger does not cover all targets: %+v", last.Stats)
 	}
 }

@@ -230,10 +230,10 @@ type bypassOutcome struct {
 func (c *Crawler) RunBypass(ctx context.Context, vp vantage.VP, wallDomains []string, reps int, engine *adblock.Engine) (Bypass, error) {
 	b := Bypass{Total: len(wallDomains)}
 	_, err := runExperimentCampaign(ctx, c, "bypass", bypassCodec{}, wallDomains,
-		func(_ context.Context, domain string) (bypassOutcome, error) {
+		func(ctx context.Context, domain string) (bypassOutcome, error) {
 			out := bypassOutcome{Domain: domain}
 			for rep := 0; rep < reps; rep++ {
-				o := c.Visit(vp, domain, VisitOpts{
+				o := c.Visit(ctx, vp, domain, VisitOpts{
 					Visit:   fmt.Sprintf("%s|ub%d", vp.Name, rep),
 					Blocker: engine,
 				})

@@ -39,9 +39,12 @@ type ablationCounts struct{ full, noShadow, noFrames, mainOnly bool }
 func (c *Crawler) RunAblation(ctx context.Context, vp vantage.VP, wallDomains []string) (Ablation, error) {
 	var a Ablation
 	_, err := runExperimentCampaign(ctx, c, "ablation", ablationCodec{}, wallDomains,
-		func(_ context.Context, domain string) (ablationCounts, error) {
-			b := c.acquireBrowser(vp)
+		func(ctx context.Context, domain string) (ablationCounts, error) {
+			b, cancel := c.session(ctx, vp)
 			defer releaseBrowser(b)
+			if cancel != nil {
+				defer cancel()
+			}
 			page, err := b.Open("https://" + domain + "/")
 			if err != nil {
 				return ablationCounts{}, nil
@@ -107,9 +110,12 @@ const (
 func (c *Crawler) RunAutoReject(ctx context.Context, vp vantage.VP, domains []string) (AutoReject, error) {
 	var a AutoReject
 	_, err := runExperimentCampaign(ctx, c, "autoreject", autoRejectCodec{}, domains,
-		func(_ context.Context, domain string) (rejectOutcome, error) {
-			b := c.acquireBrowser(vp)
+		func(ctx context.Context, domain string) (rejectOutcome, error) {
+			b, cancel := c.session(ctx, vp)
 			defer releaseBrowser(b)
+			if cancel != nil {
+				defer cancel()
+			}
 			page, err := b.Open("https://" + domain + "/")
 			if err != nil {
 				return outFailed, nil
@@ -171,10 +177,13 @@ type botPair struct{ mitigated, naive bool }
 func (c *Crawler) RunBotCheck(ctx context.Context, vp vantage.VP, domains []string) (BotCheck, error) {
 	var bc BotCheck
 	_, err := runExperimentCampaign(ctx, c, "botcheck", botCheckCodec{}, domains,
-		func(_ context.Context, domain string) (botPair, error) {
+		func(ctx context.Context, domain string) (botPair, error) {
 			showsBanner := func(ua string) bool {
-				b := c.acquireBrowser(vp)
+				b, cancel := c.session(ctx, vp)
 				defer releaseBrowser(b)
+				if cancel != nil {
+					defer cancel()
+				}
 				b.UserAgent = ua
 				page, err := b.Open("https://" + domain + "/")
 				if err != nil {
@@ -231,9 +240,12 @@ type revOutcome struct{ tested, gone, persisted, back bool }
 func (c *Crawler) RunRevocation(ctx context.Context, vp vantage.VP, domains []string) (Revocation, error) {
 	var r Revocation
 	_, err := runExperimentCampaign(ctx, c, "revocation", revocationCodec{}, domains,
-		func(_ context.Context, domain string) (revOutcome, error) {
-			b := c.acquireBrowser(vp)
+		func(ctx context.Context, domain string) (revOutcome, error) {
+			b, cancel := c.session(ctx, vp)
 			defer releaseBrowser(b)
+			if cancel != nil {
+				defer cancel()
+			}
 			page, err := b.Open("https://" + domain + "/")
 			if err != nil {
 				return revOutcome{}, err

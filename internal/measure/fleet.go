@@ -80,8 +80,8 @@ func (c *Crawler) RunLandscapeLease(ctx context.Context, lease dist.Lease, targe
 		TargetsHash: hash,
 	}
 	_, err := campaign.RunRange(ctx, cfg, targets, lease.Shard, lease.Shards, lease.Lo, lease.Hi,
-		func(_ context.Context, domain string) (Observation, error) {
-			o := c.Visit(vp, domain, VisitOpts{})
+		func(ctx context.Context, domain string) (Observation, error) {
+			o := c.Visit(ctx, vp, domain, VisitOpts{})
 			if o.Err != "" {
 				return o, errors.New(o.Err)
 			}

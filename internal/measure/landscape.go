@@ -86,8 +86,8 @@ func (c *Crawler) Landscape(ctx context.Context, vps []vantage.VP, targets []str
 		vp := vp
 		res := VPResult{VP: vp.Name}
 		stats, err := runExperimentCampaign(ctx, c, landscapeLabel(vp), ObservationCodec{}, targets,
-			func(_ context.Context, domain string) (Observation, error) {
-				o := c.Visit(vp, domain, VisitOpts{})
+			func(ctx context.Context, domain string) (Observation, error) {
+				o := c.Visit(ctx, vp, domain, VisitOpts{})
 				if o.Err != "" {
 					return o, errors.New(o.Err)
 				}

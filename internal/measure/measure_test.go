@@ -363,7 +363,7 @@ func TestVisitUnreachable(t *testing.T) {
 			break
 		}
 	}
-	o := c.Visit(germanyVP(), unreachable, VisitOpts{})
+	o := c.Visit(context.Background(), germanyVP(), unreachable, VisitOpts{})
 	if o.Err == "" {
 		t.Fatal("expected transport error")
 	}

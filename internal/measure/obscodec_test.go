@@ -226,7 +226,7 @@ func TestLandscapeCheckpointResume(t *testing.T) {
 	// mid-campaign: partially replayed.
 	gotDE, _ := got.Result("Germany")
 	gotSE, _ := got.Result("Sweden")
-	if gotDE.Stats.Replayed != len(targets) || gotDE.Stats.Fresh() != 0 {
+	if gotDE.Stats.Replayed != int64(len(targets)) || gotDE.Stats.Fresh() != 0 {
 		t.Fatalf("Germany stats = %+v", gotDE.Stats)
 	}
 	if gotSE.Stats.Replayed == 0 || gotSE.Stats.Fresh() == 0 {

@@ -180,3 +180,15 @@ func SubSeed(seed uint64, labels ...string) uint64 {
 	}
 	return h
 }
+
+// JitterDuration maps (seed, call, attempt) to a delay in [base/2, base]
+// — the decorrelated-jitter discipline shared by every retry loop in
+// the tree (the fleet client's backoff and the browser's visit
+// retries). Full determinism for tests, decorrelation across workers
+// and calls for a fleet: peers that fail at the same instant spread
+// their retries instead of returning as a synchronized thundering herd.
+func JitterDuration[D ~int64](seed, call uint64, attempt int, base D) D {
+	half := base / 2
+	h := Mix64(Mix64(seed, call), uint64(attempt))
+	return half + D(h%uint64(half+1))
+}
