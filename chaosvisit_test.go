@@ -233,6 +233,69 @@ func TestExhaustedRetriesSurfaceAsErrors(t *testing.T) {
 	}
 }
 
+// TestBreakerRecoversThroughHalfOpenProbe drives the breaker's full
+// lifecycle end to end with retries armed: trip on exhausted retries,
+// half-open probe after the cooldown whose OWN retries run inside the
+// probe admission (a probe attempt must never be denied against its
+// own claimed slot), re-open on probe failure, and recovery once the
+// host heals. Regression for the probe/retry deadlock that permanently
+// denied a host whenever a half-open probe failed transiently.
+func TestBreakerRecoversThroughHalfOpenProbe(t *testing.T) {
+	probe := cookiewalk.New(cookiewalk.Config{Seed: 42, Scale: 0.02, Reps: 2})
+	victim := probe.Targets()[5]
+
+	const cooldown = 20 * time.Millisecond
+	var down atomic.Bool
+	down.Store(true)
+	cfg := cookiewalk.Config{
+		Seed: 42, Scale: 0.02, Reps: 2,
+		VisitRetries:      2,
+		VisitRetryBackoff: time.Millisecond,
+		BreakerThreshold:  2,
+		BreakerCooldown:   cooldown,
+		WrapTransport: func(base http.RoundTripper) http.RoundTripper {
+			rt, inj := faulttransport.Wrap(base, 99, faulttransport.Profile{
+				Reset: 1000, MaxPerRequest: -1,
+			})
+			inj.Hosts = func(host string) bool { return host == victim && down.Load() }
+			return rt
+		},
+	}
+	study := cookiewalk.New(cfg)
+
+	// Two exhausted-retry visits trip the breaker (threshold 2).
+	for i := 0; i < 2; i++ {
+		if _, err := study.Analyze("Germany", victim); err == nil ||
+			!strings.Contains(err.Error(), "giving up after 3 attempts") {
+			t.Fatalf("visit %d = %v, want retry exhaustion", i+1, err)
+		}
+	}
+
+	// Cooldown elapsed, host still down: the half-open probe retries
+	// within its own admission and exhausts — it must NOT fail fast
+	// against its own probe slot, and the breaker must re-open, not
+	// wedge.
+	time.Sleep(2 * cooldown)
+	if _, err := study.Analyze("Germany", victim); err == nil ||
+		!strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("probe visit = %v, want retry exhaustion, not a self-denial", err)
+	}
+
+	// Host heals: after another cooldown the next probe succeeds, the
+	// breaker closes, and the host stays reachable.
+	down.Store(false)
+	time.Sleep(2 * cooldown)
+	for i := 0; i < 2; i++ {
+		rep, err := study.Analyze("Germany", victim)
+		if err != nil {
+			t.Fatalf("post-recovery visit %d: %v", i+1, err)
+		}
+		if rep.Domain != victim {
+			t.Fatalf("post-recovery report for %q, want %q", rep.Domain, victim)
+		}
+	}
+}
+
 // saveVisitChaosArtifacts copies the chaos run's checkpoint journals
 // to COOKIEWALK_VISITCHAOS_ARTIFACTS for CI upload on failure — the
 // seed fully determines the fault schedule, so the journals plus the

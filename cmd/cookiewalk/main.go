@@ -46,6 +46,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -302,12 +303,20 @@ func serveFleet(study *cookiewalk.Study, addr, certFile, keyFile string) (stop f
 	}
 	srv := &http.Server{Handler: fc.Handler()}
 	scheme := "http"
+	serve := srv.Serve
 	if certFile != "" {
 		scheme = "https"
-		go srv.ServeTLS(ln, certFile, keyFile)
-	} else {
-		go srv.Serve(ln)
+		serve = func(l net.Listener) error { return srv.ServeTLS(l, certFile, keyFile) }
 	}
+	go func() {
+		// A serve failure (unreadable -fleet-cert, a key that does not
+		// match) must not leave the coordinator "listening" while serving
+		// nothing and workers seeing opaque connection failures.
+		if err := serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "coordinator serve:", err)
+			os.Exit(1)
+		}
+	}()
 	fmt.Fprintf(os.Stderr, "coordinator listening on %s (%s), waiting for workers...\n", ln.Addr(), scheme)
 
 	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -32,8 +32,9 @@ type Resilience struct {
 	Backoff time.Duration
 	// Seed drives the backoff jitter deterministically.
 	Seed uint64
-	// Gate, when non-nil, is consulted once per attempt (politeness
-	// applies to wire traffic) and told each request's final outcome.
+	// Gate, when non-nil, is consulted once per logical request for
+	// breaker admission, once per attempt for politeness pacing, and
+	// settled with exactly one Report or Abandon on every exit path.
 	Gate HostGate
 	// Meter, when non-nil, receives retry/breaker events for campaign
 	// accounting.
@@ -44,15 +45,21 @@ type Resilience struct {
 }
 
 // HostGate is the per-host admission controller the browser consults
-// around each request attempt. Matching is structural so this package
-// needs no import of internal/hostgate: Acquire either admits the
-// attempt (possibly after a politeness delay), fails fast with a
-// circuit-open error, or returns ctx's cancellation cause; Report
-// records the request's final post-retry outcome and returns true
-// when that report tripped a breaker open.
+// around each logical request. Matching is structural so this package
+// needs no import of internal/hostgate. Admit checks the breaker once
+// per request — it either admits (possibly claiming the host's single
+// half-open probe slot) or fails fast with a circuit-open error; Wait
+// blocks for a politeness token once per wire attempt (honoring ctx);
+// and every admitted request is settled with exactly one terminal
+// call: Report when its final post-retry outcome is a verdict on
+// transport health (returning true when the report tripped a breaker
+// open), Abandon when it is not — so a claimed probe slot can never
+// outlive the request that holds it.
 type HostGate interface {
-	Acquire(ctx context.Context, host string) error
+	Admit(host string) error
+	Wait(ctx context.Context, host string) error
 	Report(host string, failed bool) bool
+	Abandon(host string)
 }
 
 // Meter receives resilience events. Implementations must be safe for
@@ -159,9 +166,10 @@ func (r *Resilience) sleep(d time.Duration) error {
 }
 
 // doRequest performs one logical request — newRequest + roundTrip —
-// under the Resilience policy: gate admission per attempt, bounded
-// jittered retries of transient failures, and a single final-outcome
-// report to the gate. With the zero Resilience it collapses to the
+// under the Resilience policy: breaker admission once per request,
+// politeness pacing per attempt, bounded jittered retries of transient
+// failures, and exactly one terminal gate call (Report or Abandon) on
+// every exit path. With the zero Resilience it collapses to the
 // original single-shot path.
 func (b *Browser) doRequest(method string, u *url.URL, form url.Values, cur string, limit int) (response, error) {
 	res := &b.Resilience
@@ -174,6 +182,49 @@ func (b *Browser) doRequest(method string, u *url.URL, form url.Values, cur stri
 	}
 
 	host := u.Hostname()
+	if res.Gate != nil {
+		// Breaker admission is per logical request, not per attempt:
+		// the breaker judges final outcomes, and a half-open probe slot
+		// belongs to the whole request — an in-request retry re-checking
+		// the breaker would collide with its own probe and deny the very
+		// request it was admitted to perform. A fail-fast here is
+		// deliberately NOT reported back — denials must not feed the
+		// failure streak.
+		if err := res.Gate.Admit(host); err != nil {
+			if isCircuitOpen(err) && res.Meter != nil {
+				res.Meter.BreakerDenial()
+			}
+			return response{}, err
+		}
+	}
+	resp, err := b.attemptRequest(res, method, u, form, cur, limit, host)
+	if res.Gate != nil {
+		// Settle the admission with exactly one terminal call. A final
+		// success or a post-retry transient failure is the breaker's
+		// signal; everything else — ctx cancellation (including a
+		// transient fault overtaken by the visit deadline), errors that
+		// are deterministic web content rather than transport weather —
+		// abandons the admission, so a claimed probe slot is always
+		// released and the breaker can never wedge past its cooldown.
+		switch {
+		case err == nil:
+			res.Gate.Report(host, false)
+		case IsTransient(err) && res.ctx().Err() == nil:
+			if res.Gate.Report(host, true) && res.Meter != nil {
+				res.Meter.BreakerTrip()
+			}
+		default:
+			res.Gate.Abandon(host)
+		}
+	}
+	return resp, err
+}
+
+// attemptRequest runs the bounded retry loop for one admitted request:
+// a politeness token per attempt, jittered backoff between attempts,
+// and classification of each attempt's outcome. It never talks to the
+// breaker — doRequest settles the admission from its return value.
+func (b *Browser) attemptRequest(res *Resilience, method string, u *url.URL, form url.Values, cur string, limit int, host string) (response, error) {
 	backoff := res.Backoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
@@ -183,13 +234,7 @@ func (b *Browser) doRequest(method string, u *url.URL, form url.Values, cur stri
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if res.Gate != nil {
-			if err := res.Gate.Acquire(res.ctx(), host); err != nil {
-				// A breaker fail-fast (or ctx cancellation) is definitive
-				// for this request and deliberately NOT reported back to
-				// the gate — denials must not feed the failure streak.
-				if isCircuitOpen(err) && res.Meter != nil {
-					res.Meter.BreakerDenial()
-				}
+			if err := res.Gate.Wait(res.ctx(), host); err != nil {
 				return response{}, err
 			}
 		}
@@ -211,9 +256,6 @@ func (b *Browser) doRequest(method string, u *url.URL, form url.Values, cur stri
 			// Success — including 4xx (deterministic web content) and,
 			// without a retry budget, 5xx: both are the pre-resilience
 			// behavior.
-			if res.Gate != nil {
-				res.Gate.Report(host, false)
-			}
 			return resp, nil
 		case err == nil:
 			lastErr = &statusError{url: cur, status: resp.status}
@@ -222,14 +264,15 @@ func (b *Browser) doRequest(method string, u *url.URL, form url.Values, cur stri
 		default:
 			// Definitive transport error ("no such host", a canceled
 			// deadline): returned verbatim so clean-run error strings are
-			// unchanged by resilience. Not reported — the breaker tracks
-			// transport health, not deterministic web content.
+			// unchanged by resilience.
 			return response{}, err
 		}
 		if attempt >= res.Retries {
-			tripped := res.Gate != nil && res.Gate.Report(host, true)
-			if tripped && res.Meter != nil {
-				res.Meter.BreakerTrip()
+			if res.Retries <= 0 {
+				// Gate armed but no retry budget: the transient error
+				// returns verbatim, exactly as the pre-resilience browser
+				// surfaced it — no "giving up after 1 attempts" rewrap.
+				return response{}, lastErr
 			}
 			return response{}, &exhaustedError{url: cur, attempts: attempt + 1, err: lastErr}
 		}

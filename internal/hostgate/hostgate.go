@@ -6,6 +6,16 @@
 // campaign, so the politeness cap holds across the whole process no
 // matter how the crawl is parallelized.
 //
+// Protocol. The breaker is consulted once per LOGICAL request with
+// Admit — which may claim the host's single half-open probe slot —
+// while the rate limiter is consulted once per wire ATTEMPT with Wait
+// (in-request retries pay politeness, not re-admission). An admitted
+// request owes the gate exactly one terminal call on every exit path:
+// Report when its final outcome is a verdict on transport health, or
+// Abandon when it is not (ctx cancellation, deterministic web-content
+// failures). A claimed probe slot that is never settled would deny the
+// host forever, so the pairing is an invariant, not a courtesy.
+//
 // Determinism contract. The breaker counts only *final* request
 // outcomes — a request that succeeds after in-request retries reports
 // success — so on a transport whose every target eventually succeeds
@@ -161,51 +171,75 @@ func (g *Gate) host(host string) *hostState {
 	return h
 }
 
-// Acquire admits one request attempt to host: it fails fast with a
-// circuit-open error while the host's breaker is open (counting a
-// denial), admits a single probe when the cooldown has elapsed, and
-// otherwise waits for a rate-limiter token (honoring ctx). Call it
-// once per attempt, including in-request retries — politeness applies
-// to wire traffic, not to logical visits.
+// Acquire is the single-shot composition of Admit and Wait for callers
+// whose logical request is exactly one attempt: breaker admission, then
+// a rate-limiter token. When the limiter wait fails after admission
+// (ctx canceled), the admission is abandoned internally before the
+// error returns — the caller holds nothing. A nil return means the
+// caller was admitted and owes the gate one Report or Abandon.
 func (g *Gate) Acquire(ctx context.Context, host string) error {
-	if g == nil {
+	if err := g.Admit(host); err != nil {
+		return err
+	}
+	if err := g.Wait(ctx, host); err != nil {
+		g.Abandon(host)
+		return err
+	}
+	return nil
+}
+
+// Admit checks host's breaker and admits or refuses one logical
+// request: it fails fast with a circuit-open error while the breaker is
+// open (counting a denial), and admits a single half-open probe when
+// the cooldown has elapsed. Call it once per logical request — the
+// breaker judges final outcomes, and the probe slot belongs to the
+// whole request including its in-request retries. An admitted caller
+// MUST settle the admission with exactly one Report or Abandon on
+// every exit path.
+func (g *Gate) Admit(host string) error {
+	if g == nil || g.cfg.BreakerThreshold <= 0 {
 		return nil
 	}
 	h := g.host(host)
-
-	if g.cfg.BreakerThreshold > 0 {
-		h.mu.Lock()
-		switch h.state {
-		case breakerOpen:
-			if g.now().Sub(h.openedAt) >= g.cfg.BreakerCooldown {
-				// Cooldown elapsed: admit exactly one probe.
-				h.state = breakerHalfOpen
-				h.probing = true
-			} else {
-				h.mu.Unlock()
-				g.mu.Lock()
-				g.denials++
-				g.mu.Unlock()
-				return &circuitOpenError{host: host}
-			}
-		case breakerHalfOpen:
-			if h.probing {
-				// Another goroutine owns the probe; fail fast rather
-				// than pile onto a host we believe is down.
-				h.mu.Unlock()
-				g.mu.Lock()
-				g.denials++
-				g.mu.Unlock()
-				return &circuitOpenError{host: host}
-			}
+	h.mu.Lock()
+	switch h.state {
+	case breakerOpen:
+		if g.now().Sub(h.openedAt) >= g.cfg.BreakerCooldown {
+			// Cooldown elapsed: admit exactly one probe.
+			h.state = breakerHalfOpen
 			h.probing = true
+		} else {
+			h.mu.Unlock()
+			g.mu.Lock()
+			g.denials++
+			g.mu.Unlock()
+			return &circuitOpenError{host: host}
 		}
-		h.mu.Unlock()
+	case breakerHalfOpen:
+		if h.probing {
+			// Another request owns the probe; fail fast rather than
+			// pile onto a host we believe is down.
+			h.mu.Unlock()
+			g.mu.Lock()
+			g.denials++
+			g.mu.Unlock()
+			return &circuitOpenError{host: host}
+		}
+		h.probing = true
 	}
+	h.mu.Unlock()
+	return nil
+}
 
-	if g.cfg.PerHostRPS <= 0 {
+// Wait blocks until host's token bucket admits one request attempt
+// (honoring ctx). Call it once per attempt, including in-request
+// retries — politeness applies to wire traffic, not to logical
+// requests.
+func (g *Gate) Wait(ctx context.Context, host string) error {
+	if g == nil || g.cfg.PerHostRPS <= 0 {
 		return nil
 	}
+	h := g.host(host)
 	for {
 		h.mu.Lock()
 		now := g.now()
@@ -285,6 +319,25 @@ func (g *Gate) Report(host string, failed bool) bool {
 		g.mu.Unlock()
 	}
 	return tripped
+}
+
+// Abandon settles an admission without a verdict on transport health:
+// it releases the half-open probe slot (when the host is mid-probe)
+// and leaves failure streaks, breaker state and the cooldown clock
+// untouched. Use it when an admitted request ends in ctx cancellation
+// or a failure that is deterministic web content rather than weather —
+// outcomes the breaker must not count, but whose claimed probe slot
+// must not outlive the request.
+func (g *Gate) Abandon(host string) {
+	if g == nil || g.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	h := g.host(host)
+	h.mu.Lock()
+	if h.state == breakerHalfOpen {
+		h.probing = false
+	}
+	h.mu.Unlock()
 }
 
 // Counters returns the running totals of breaker open transitions and

@@ -167,6 +167,86 @@ func TestBreakerOpensHalfOpensAndCloses(t *testing.T) {
 	}
 }
 
+// TestAbandonReleasesProbe: an admitted half-open probe whose request
+// resolves without a health verdict (ctx canceled, deterministic web
+// content error) must free the probe slot via Abandon — otherwise the
+// host is denied forever.
+func TestAbandonReleasesProbe(t *testing.T) {
+	clk := newFakeClock()
+	g := New(Config{BreakerThreshold: 1, BreakerCooldown: time.Second, Now: clk.Now, Sleep: clk.Sleep})
+	ctx := context.Background()
+	host := "probe.example"
+
+	if err := g.Acquire(ctx, host); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if !g.Report(host, true) {
+		t.Fatal("threshold-1 failure did not trip")
+	}
+	clk.Advance(time.Second)
+	if err := g.Acquire(ctx, host); err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	// The probe's request dies without an outcome (say, its visit
+	// deadline expired mid-flight): abandon, don't report.
+	g.Abandon(host)
+	// The slot is free again — the next caller becomes the probe
+	// instead of being denied until the end of time.
+	if err := g.Acquire(ctx, host); err != nil {
+		t.Fatalf("probe slot leaked after Abandon: %v", err)
+	}
+	if g.Report(host, false) {
+		t.Fatal("successful probe reported as trip")
+	}
+	if err := g.Acquire(ctx, host); err != nil {
+		t.Fatalf("post-recovery Acquire: %v", err)
+	}
+	g.Report(host, false)
+}
+
+// TestAcquireReleasesProbeOnCanceledWait: when Acquire's rate-limiter
+// wait fails AFTER breaker admission claimed the probe slot, Acquire
+// must release the slot before returning — the caller holds nothing
+// and will never call Report or Abandon.
+func TestAcquireReleasesProbeOnCanceledWait(t *testing.T) {
+	clk := newFakeClock()
+	canceled := false
+	g := New(Config{
+		// A refill rate this slow guarantees the probe attempt must
+		// sleep for a token (the burst token is spent up front).
+		PerHostRPS:       0.001,
+		Burst:            1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Second,
+		Now:              clk.Now,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			if canceled {
+				return context.Canceled
+			}
+			clk.Advance(d)
+			return nil
+		},
+	})
+	ctx := context.Background()
+	host := "slow.example"
+
+	if err := g.Acquire(ctx, host); err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	g.Report(host, true) // trips (threshold 1)
+	clk.Advance(time.Second)
+	canceled = true
+	// Admission claims the probe; the limiter wait then dies.
+	if err := g.Acquire(ctx, host); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire with canceled wait = %v, want context.Canceled", err)
+	}
+	// The probe slot must have been released internally.
+	if err := g.Admit(host); err != nil {
+		t.Fatalf("probe slot leaked after canceled wait: %v", err)
+	}
+	g.Abandon(host)
+}
+
 func TestBreakerSuccessResetsStreak(t *testing.T) {
 	g := New(Config{BreakerThreshold: 2})
 	host := "flaky.example"
