@@ -77,14 +77,18 @@ func main() {
 		progress   = flag.Bool("progress", false, "stream campaign progress and per-shard error accounting to stderr")
 		checkpoint = flag.String("checkpoint", "", "journal every experiment campaign into per-experiment subdirectories of this directory (crash-safe; see -resume)")
 		resume     = flag.Bool("resume", false, "replay the journals under -checkpoint from a previous killed run and crawl only what is missing")
-		serve      = flag.String("serve", "", "coordinator mode: serve landscape shard-range leases on this address, assemble shipped journals under -checkpoint, then report")
-		workerURL  = flag.String("worker", "", "worker mode: lease, crawl and ship landscape shard ranges from the coordinator at this URL (no report)")
-		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "coordinator lease TTL: a worker silent this long is presumed dead and its range re-leased")
-		fleetToken = flag.String("fleet-token", "", "shared fleet secret: -serve refuses requests without it, -worker sends it (empty = no auth; set the same value on both sides)")
+		serve      = flag.String("serve", "", "coordinator mode: serve landscape shard-range leases on this address and assemble shipped journals under -checkpoint; implies -resume, so the post-merge report replays the assembled journals instead of re-crawling")
+		workerURL  = flag.String("worker", "", "worker mode: lease, crawl and ship landscape shard ranges from the coordinator at this URL (no report); MUST run with the coordinator's -seed and -scale, and its -fleet-token/-fleet-ca when those are set")
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "coordinator lease TTL: a worker silent this long is presumed dead and its range re-leased; never affects results, only how fast a lost range is re-handed out")
+		fleetToken = flag.String("fleet-token", "", "shared fleet secret: -serve refuses requests without \"Authorization: Bearer <token>\" (constant-time compare, HTTP 401), -worker sends it on every request (empty = no auth; set the same value on both sides)")
 
-		visitTimeout = flag.Duration("visit-timeout", 0, "per-visit wall-clock deadline, navigation + subresources + retries (0 = none)")
-		visitRetries = flag.Int("visit-retries", 0, "extra attempts per request on transient transport failures (timeouts, resets, truncated bodies, 5xx); results stay byte-identical when faults eventually clear")
-		perHost      = flag.Float64("per-host", 0, "per-host request rate limit in requests/second, shared across all shards and workers (0 = unlimited)")
+		visitTimeout      = flag.Duration("visit-timeout", 0, "per-visit wall-clock deadline covering navigation + subresources + retries; an overrun surfaces as an ordinary visit error, never a wedged campaign (0 = none)")
+		visitRetries      = flag.Int("visit-retries", 0, "extra attempts per request on transient transport failures (timeouts, resets, truncated bodies, 5xx); definitive failures (DNS, 4xx) never retry; results stay byte-identical when faults eventually clear")
+		visitRetryBackoff = flag.Duration("visit-retry-backoff", 0, "initial retry delay, doubled per attempt up to 2s with seeded jitter (0 = the 100ms default); timing only, never results")
+		perHost           = flag.Float64("per-host", 0, "per-host request rate limit in requests/second, shared across all shards and workers via one token bucket (0 = unlimited); throughput knob only — results are identical at any rate")
+		perHostBurst      = flag.Int("per-host-burst", 0, "token-bucket burst size for -per-host (0 = the default of 1)")
+		breakerThreshold  = flag.Int("breaker-threshold", 0, "per-host circuit breaker: skip a host (fail fast) after this many consecutive transient failures, until a half-open probe succeeds (0 = breaker off)")
+		breakerCooldown   = flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before probing the host again (0 = the 30s default)")
 
 		fleetCert = flag.String("fleet-cert", "", "TLS certificate (PEM) for the coordinator: -serve listens with https:// (requires -fleet-key)")
 		fleetKey  = flag.String("fleet-key", "", "TLS private key (PEM) for -fleet-cert")
@@ -114,9 +118,12 @@ func main() {
 			deps := cookiewalk.Dependencies(e)
 			if len(deps) == 0 {
 				fmt.Printf("%-12s (no dependencies)\n", e)
-				continue
+			} else {
+				fmt.Printf("%-12s depends on: %s\n", e, strings.Join(deps, ", "))
 			}
-			fmt.Printf("%-12s depends on: %s\n", e, strings.Join(deps, ", "))
+			if dirs := cookiewalk.JournalDirs(e); len(dirs) > 0 {
+				fmt.Printf("%-12s journals under -checkpoint: %s\n", "", strings.Join(dirs, ", "))
+			}
 		}
 		return
 	}
@@ -137,7 +144,11 @@ func main() {
 		FleetCA:               *fleetCA,
 		VisitTimeout:          *visitTimeout,
 		VisitRetries:          *visitRetries,
+		VisitRetryBackoff:     *visitRetryBackoff,
 		PerHostRPS:            *perHost,
+		PerHostBurst:          *perHostBurst,
+		BreakerThreshold:      *breakerThreshold,
+		BreakerCooldown:       *breakerCooldown,
 	}
 	if *serve != "" {
 		// The post-merge report must replay the assembled journals

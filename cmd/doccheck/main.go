@@ -1,0 +1,145 @@
+// Command doccheck lints intra-repository markdown links.
+//
+// It walks every .md file under the repository root (skipping .git and
+// testdata), extracts [text](target) links, and verifies that each
+// relative target resolves to a file or directory that actually
+// exists. External links (http, https, mailto) and pure #fragment
+// anchors are skipped; a #fragment suffix on a file target is stripped
+// before the existence check. Links inside fenced code blocks and
+// inline code spans are ignored, since those are examples, not
+// navigation.
+//
+// Usage:
+//
+//	go run ./cmd/doccheck [root]
+//
+// With no argument the current directory is the root. Targets starting
+// with "/" are resolved against the repository root rather than the
+// filesystem root, matching how GitHub renders absolute repo links.
+// Exits 1 listing every broken link; exits 0 when all links resolve.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches [text](target). Nested brackets in the text and
+// parentheses in the target are rare enough in this repo's docs that
+// the simple form is sufficient — doccheck lints links, it does not
+// implement CommonMark.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, target := range extractLinks(string(data)) {
+			if ok := checkLink(root, path, target); !ok {
+				fmt.Fprintf(os.Stderr, "%s: broken link: %s\n", path, target)
+				broken++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// extractLinks returns the link targets in a markdown document,
+// ignoring fenced code blocks and inline code spans.
+func extractLinks(doc string) []string {
+	var targets []string
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatchIndex(stripCodeSpans(line), -1) {
+			targets = append(targets, stripCodeSpans(line)[m[2]:m[3]])
+		}
+	}
+	return targets
+}
+
+// stripCodeSpans blanks out `inline code` so links quoted as examples
+// inside backticks are not linted.
+func stripCodeSpans(line string) string {
+	var b strings.Builder
+	inSpan := false
+	for _, r := range line {
+		if r == '`' {
+			inSpan = !inSpan
+			b.WriteRune(r)
+			continue
+		}
+		if inSpan {
+			b.WriteRune(' ')
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// checkLink reports whether target (as written in the file at path)
+// resolves to something on disk. External schemes and pure anchors
+// are vacuously fine.
+func checkLink(root, path, target string) bool {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"),
+		strings.HasPrefix(target, "#"):
+		return true
+	}
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+	}
+	if target == "" {
+		return true
+	}
+	var resolved string
+	if strings.HasPrefix(target, "/") {
+		resolved = filepath.Join(root, target)
+	} else {
+		resolved = filepath.Join(filepath.Dir(path), target)
+	}
+	_, err := os.Stat(resolved)
+	return err == nil
+}

@@ -2,9 +2,11 @@ package cookiewalk
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"strings"
 
+	"cookiewalk/internal/campaign"
 	"cookiewalk/internal/measure"
 	"cookiewalk/internal/report"
 	"cookiewalk/internal/synthweb"
@@ -87,6 +89,9 @@ func buildRegistry() map[string]*node {
 		}
 		sort.Strings(walls)
 		return walls, nil
+	})
+	art(artSummary, []string{artLandscape, artGerman}, func(ctx context.Context, s *Study) (any, error) {
+		return s.crawler.SummarizeRound(s.landscapeArt(ctx), s.germanObservations(ctx)), nil
 	})
 	art(artFig4, []string{artLandscape}, func(ctx context.Context, s *Study) (any, error) {
 		vp, _ := vantage.ByName("Germany")
@@ -288,6 +293,77 @@ func (s *Study) regularSample(ctx context.Context, n int) []string {
 	out := make([]string, len(pool))
 	copy(out, pool)
 	return out
+}
+
+// RoundSummary runs (or resumes) the landscape crawl and condenses it
+// into the per-round aggregate bundle the continuous-measurement
+// service (internal/trend, cmd/trendd) appends to its time-indexed
+// store. Like ReportContext, a landscape failure — cancellation or a
+// checkpoint journal error — fails the summary under the same stable
+// wrapping: a round is either fully measured and durably journaled or
+// it reports an error, never a silently partial aggregate.
+func (s *Study) RoundSummary(ctx context.Context) (measure.RoundSummary, error) {
+	v, err := s.resolve(ctx, artSummary)
+	if lerr := s.landscapeError(); lerr != nil {
+		return measure.RoundSummary{}, fmt.Errorf("cookiewalk: landscape crawl: %w", lerr)
+	}
+	if err != nil {
+		return measure.RoundSummary{}, err
+	}
+	return v.(measure.RoundSummary), nil
+}
+
+// JournalDirs lists the checkpoint subdirectories (relative to
+// Config.CheckpointDir) that an experiment's campaigns — its own and
+// those of the artefacts it depends on — journal under, in the order
+// they run. Experiments that only post-process the landscape inherit
+// exactly the landscape's directories.
+func JournalDirs(exp Experiment) []string {
+	var labels []string
+	add := func(ls ...string) {
+		for _, l := range ls {
+			found := false
+			for _, have := range labels {
+				if have == l {
+					found = true
+					break
+				}
+			}
+			if !found {
+				labels = append(labels, l)
+			}
+		}
+	}
+	for _, dep := range Dependencies(exp) {
+		if dep == artLandscape {
+			add(measure.LandscapeCampaignLabels()...)
+		}
+		if dep == artFig4 {
+			add(measure.LabelFig4Regular, measure.LabelFig4Cookiewall)
+		}
+	}
+	switch exp {
+	case ExpFigure4:
+		add(measure.LabelFig4Regular, measure.LabelFig4Cookiewall)
+	case ExpFigure5:
+		accept, subscribe := measure.Fig5Labels("contentpass")
+		add(accept, subscribe)
+	case ExpBypass:
+		add(measure.LabelBypass)
+	case ExpAblation:
+		add(measure.LabelAblation)
+	case ExpAutoReject:
+		add(measure.LabelAutoReject)
+	case ExpRevocation:
+		add(measure.LabelRevocation)
+	case ExpBotCheck:
+		add(measure.LabelBotCheck)
+	}
+	dirs := make([]string, len(labels))
+	for i, l := range labels {
+		dirs[i] = campaign.PathLabel(l)
+	}
+	return dirs
 }
 
 // Report runs an experiment and renders its artefact as text —

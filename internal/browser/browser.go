@@ -14,6 +14,18 @@
 // SMP login POSTs, redirect following, then a fresh page load — so
 // post-consent measurements observe exactly what the server serves a
 // consenting user.
+//
+// Determinism invariant. What a visit OBSERVES is a pure function of
+// the request and the (deterministic) server: the resilience layer —
+// per-visit deadlines, bounded retries of transient transport
+// failures with seeded backoff, the per-host limiter and breakers —
+// only changes pacing and which attempt succeeds, never the bytes an
+// eventually-successful fetch yields. Partial bodies from torn
+// transfers never reach fingerprinting, retry exhaustion produces
+// stable error text, and definitive errors (DNS, 4xx) are returned
+// verbatim without retry — so campaign results are byte-identical
+// whenever faults eventually clear, which CI's visit-chaos gate pins
+// against the golden snapshot.
 package browser
 
 import (

@@ -2,6 +2,7 @@ package measure
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"cookiewalk/internal/core"
 )
@@ -29,6 +30,14 @@ import (
 // affect results.
 type analysisCache struct {
 	shards [analysisShards]analysisShard
+
+	// hits counts visits served by a published entry; misses counts
+	// claims that ran a fresh analysis. Monotonic over the process
+	// lifetime — delta-crawl rounds subtract snapshots to report how
+	// much of a round the memo absorbed. Seeded entries (checkpoint
+	// replay) count as neither: they were never analyzed this process.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 const (
@@ -82,6 +91,7 @@ func (c *analysisCache) getChecked(fp uint64, compute func() (core.Analysis, err
 			if e.failed {
 				continue
 			}
+			c.hits.Add(1)
 			return e.a, nil
 		}
 		e := &analysisEntry{done: make(chan struct{})}
@@ -90,6 +100,7 @@ func (c *analysisCache) getChecked(fp uint64, compute func() (core.Analysis, err
 		}
 		s.m[fp] = e
 		s.mu.Unlock()
+		c.misses.Add(1)
 		return c.fill(s, fp, e, compute)
 	}
 }

@@ -11,6 +11,19 @@
 // incremental aggregators — so outputs are byte-identical for a fixed
 // seed regardless of worker or shard count, and campaigns can be
 // canceled mid-flight with per-shard accounting of what ran.
+//
+// Determinism invariant. Every measurement is a pure function of the
+// universe seed and the target: never of wall-clock time, scheduling,
+// vantage-point visit ORDER, or which sibling campaigns are in
+// flight. The analysis memo sharpens this to VP-independence —
+// everything analyzePage computes must depend only on page CONTENT
+// (equal fingerprints imply equal analyses), so any VP-dependent
+// value has to be captured at fetch time and stamped on after memo
+// lookup, and the memo is only ever seeded from a complete,
+// successful fetch. Results are therefore byte-identical with the
+// memo on or off, across kill/resume, distributed fleets, and
+// injected transport faults; errors use stable text so journaled
+// failures replay byte-identically too.
 package measure
 
 import (

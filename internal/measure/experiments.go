@@ -46,10 +46,10 @@ func (c *Crawler) RunFigure4(ctx context.Context, l *Landscape, vp vantage.VP, r
 
 	var f Figure4
 	var err error
-	if f.Regular, err = c.MeasureCookies(ctx, vp, "fig4 regular", regular, reps, ModeAccept, ""); err != nil {
+	if f.Regular, err = c.MeasureCookies(ctx, vp, LabelFig4Regular, regular, reps, ModeAccept, ""); err != nil {
 		return f, err
 	}
-	if f.Cookiewall, err = c.MeasureCookies(ctx, vp, "fig4 cookiewall", wallDomains, reps, ModeAccept, ""); err != nil {
+	if f.Cookiewall, err = c.MeasureCookies(ctx, vp, LabelFig4Cookiewall, wallDomains, reps, ModeAccept, ""); err != nil {
 		return f, err
 	}
 	f.RegularMedian = medianTally(f.Regular)
@@ -123,10 +123,11 @@ func (c *Crawler) RunFigure5(ctx context.Context, vp vantage.VP, platform string
 	}
 	// Labels carry the platform: a study measuring several SMPs runs
 	// one campaign (and one checkpoint journal) per platform and mode.
-	if f.Accept, err = c.MeasureCookies(ctx, vp, "fig5 "+platform+" accept", partners, reps, ModeAccept, ""); err != nil {
+	acceptLabel, subscribeLabel := Fig5Labels(platform)
+	if f.Accept, err = c.MeasureCookies(ctx, vp, acceptLabel, partners, reps, ModeAccept, ""); err != nil {
 		return f, err
 	}
-	if f.Subscription, err = c.MeasureCookies(ctx, vp, "fig5 "+platform+" subscribe", partners, reps, ModeSubscribe, token); err != nil {
+	if f.Subscription, err = c.MeasureCookies(ctx, vp, subscribeLabel, partners, reps, ModeSubscribe, token); err != nil {
 		return f, err
 	}
 	f.AcceptMedian = medianTally(f.Accept)
@@ -229,7 +230,7 @@ type bypassOutcome struct {
 // failure).
 func (c *Crawler) RunBypass(ctx context.Context, vp vantage.VP, wallDomains []string, reps int, engine *adblock.Engine) (Bypass, error) {
 	b := Bypass{Total: len(wallDomains)}
-	_, err := runExperimentCampaign(ctx, c, "bypass", bypassCodec{}, wallDomains,
+	_, err := runExperimentCampaign(ctx, c, LabelBypass, bypassCodec{}, wallDomains,
 		func(ctx context.Context, domain string) (bypassOutcome, error) {
 			out := bypassOutcome{Domain: domain}
 			for rep := 0; rep < reps; rep++ {

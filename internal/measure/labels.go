@@ -1,0 +1,34 @@
+package measure
+
+import "cookiewalk/internal/vantage"
+
+// Exported campaign labels. A label keys a campaign's checkpoint
+// directory (via campaign.PathLabel) and its manifest identity, so the
+// exact strings are part of the on-disk format: cmd/cookiewalk -list
+// derives the journal directory an experiment checkpoints under from
+// these, and changing one orphans existing journals.
+const (
+	LabelFig4Regular    = "fig4 regular"
+	LabelFig4Cookiewall = "fig4 cookiewall"
+	LabelBypass         = "bypass"
+	LabelAblation       = "ablation"
+	LabelAutoReject     = "autoreject"
+	LabelBotCheck       = "botcheck"
+	LabelRevocation     = "revocation"
+)
+
+// Fig5Labels returns the accept- and subscribe-arm campaign labels of
+// the §4.4 SMP cookie experiment for one platform.
+func Fig5Labels(platform string) (accept, subscribe string) {
+	return "fig5 " + platform + " accept", "fig5 " + platform + " subscribe"
+}
+
+// LandscapeCampaignLabels lists the landscape campaign labels in crawl
+// order — one per vantage point.
+func LandscapeCampaignLabels() []string {
+	var labels []string
+	for _, vp := range vantage.All() {
+		labels = append(labels, landscapeLabel(vp))
+	}
+	return labels
+}

@@ -1,0 +1,20 @@
+// Package trend is the continuous-measurement layer: it re-runs the
+// study on a wall-clock schedule, appends each round's aggregates
+// (prevalence, paywall share, price statistics, per-VP splits) to a
+// time-indexed append-only store, and serves the resulting time series
+// through a cached HTTP query API. The paper is a one-shot snapshot;
+// this package is what turns the reproduction into the recurring
+// service the ROADMAP's north star describes. cmd/trendd is the
+// daemon built from it.
+//
+// Determinism invariant: every stored round is a pure function of
+// (study seed, round index, universe) — never of wall-clock time,
+// scheduling, interruption or cache state. The only timestamp in a
+// Record is the round's start time, pinned by the runner's injectable
+// clock; round aggregates contain no memo counters, durations or other
+// process-lifetime state. Consequently a fixed schedule of rounds
+// produces byte-identical store journals and byte-identical query
+// responses (ETags included) across independent runs, across
+// kill/resume boundaries, and at any -race-checked concurrency — the
+// property the golden trend test pins.
+package trend

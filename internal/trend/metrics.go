@@ -1,0 +1,80 @@
+package trend
+
+import "cookiewalk/internal/measure"
+
+// The metric registry. /v1/trends/<metric> serves one named scalar per
+// round, extracted from the stored RoundSummary — precomputed
+// aggregates, never raw observations, so a query costs a slice walk
+// regardless of crawl size. The registry is a fixed table: adding a
+// metric is a code change, which keeps the API surface enumerable (and
+// /v1/metrics self-describing).
+
+// Metric is one queryable per-round scalar.
+type Metric struct {
+	Name string `json:"name"`
+	Help string `json:"help"`
+	// PerVP marks metrics that additionally require a ?vp= parameter
+	// and read one vantage point's split instead of the round total.
+	PerVP bool `json:"per_vp"`
+
+	value   func(measure.RoundSummary) float64
+	vpValue func(measure.VPTrendSplit) float64
+}
+
+// metrics is the registry, in /v1/metrics display order.
+var metrics = []Metric{
+	{Name: "prevalence", Help: "verified cookiewall share of all targets (§4.1)",
+		value: func(s measure.RoundSummary) float64 { return s.Prevalence }},
+	{Name: "top1k_prevalence", Help: "verified cookiewall share of top-1k targets (§4.1)",
+		value: func(s measure.RoundSummary) float64 { return s.Top1kPrevalence }},
+	{Name: "cookiewalls", Help: "verified cookiewall domains detected from any vantage point",
+		value: func(s measure.RoundSummary) float64 { return float64(s.Cookiewalls) }},
+	{Name: "paywall_share", Help: "verified cookiewalls / banner-showing sites, Germany view",
+		value: func(s measure.RoundSummary) float64 { return s.PaywallShare }},
+	{Name: "price_count", Help: "verified cookiewalls with a detected subscription price",
+		value: func(s measure.RoundSummary) float64 { return float64(s.PriceCount) }},
+	{Name: "price_min", Help: "minimum monthly subscription price (EUR)",
+		value: func(s measure.RoundSummary) float64 { return s.PriceMin }},
+	{Name: "price_median", Help: "median monthly subscription price (EUR)",
+		value: func(s measure.RoundSummary) float64 { return s.PriceMedian }},
+	{Name: "price_mean", Help: "mean monthly subscription price (EUR)",
+		value: func(s measure.RoundSummary) float64 { return s.PriceMean }},
+	{Name: "price_max", Help: "maximum monthly subscription price (EUR)",
+		value: func(s measure.RoundSummary) float64 { return s.PriceMax }},
+	{Name: "price_share_at_most_3", Help: "share of prices ≤ 3 EUR (Figure 2 anchor)",
+		value: func(s measure.RoundSummary) float64 { return s.PriceShareAtMost3 }},
+	{Name: "vp_banner_rate", Help: "per-VP banner rate (?vp=<name>, §4.2)", PerVP: true,
+		vpValue: func(v measure.VPTrendSplit) float64 { return v.BannerRate }},
+	{Name: "vp_cookiewalls", Help: "per-VP verified cookiewall detections (?vp=<name>)", PerVP: true,
+		vpValue: func(v measure.VPTrendSplit) float64 { return float64(v.Cookiewalls) }},
+	{Name: "vp_regular", Help: "per-VP regular-banner sites (?vp=<name>)", PerVP: true,
+		vpValue: func(v measure.VPTrendSplit) float64 { return float64(v.Regular) }},
+	{Name: "vp_errors", Help: "per-VP visit errors (?vp=<name>)", PerVP: true,
+		vpValue: func(v measure.VPTrendSplit) float64 { return float64(v.Errors) }},
+}
+
+// metricIndex resolves names to registry entries.
+var metricIndex = func() map[string]Metric {
+	m := make(map[string]Metric, len(metrics))
+	for _, mt := range metrics {
+		m[mt.Name] = mt
+	}
+	return m
+}()
+
+// Metrics lists the registry in display order.
+func Metrics() []Metric { return append([]Metric(nil), metrics...) }
+
+// eval extracts the metric's value from one record. For per-VP metrics
+// the bool reports whether vp names a split present in the summary.
+func (m Metric) eval(rec Record, vp string) (float64, bool) {
+	if !m.PerVP {
+		return m.value(rec.Summary), true
+	}
+	for _, v := range rec.Summary.PerVP {
+		if v.VP == vp {
+			return m.vpValue(v), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,130 @@
+package trend
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cookiewalk/internal/measure"
+)
+
+// schedClock drives the runner's Now/Sleep pair deterministically:
+// sleeping advances the clock by exactly the requested duration.
+type schedClock struct{ t time.Time }
+
+func (c *schedClock) now() time.Time { return c.t }
+func (c *schedClock) sleep(ctx context.Context, d time.Duration) error {
+	c.t = c.t.Add(d)
+	return ctx.Err()
+}
+
+func TestRunnerScheduleAndTimestamps(t *testing.T) {
+	store := newTestStore(t, 0)
+	clock := &schedClock{t: time.Unix(1700000000, 0)}
+	var ran []int
+	r := &Runner{
+		Store:    store,
+		Interval: time.Hour,
+		Rounds:   3,
+		Now:      clock.now,
+		Sleep:    clock.sleep,
+		Run: func(ctx context.Context, round int) (measure.RoundSummary, error) {
+			ran = append(ran, round)
+			return syntheticSummary(round), nil
+		},
+	}
+	if err := r.Loop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 3 {
+		t.Fatalf("ran rounds %v", ran)
+	}
+	recs := store.Rounds(0, -1)
+	for i, rec := range recs {
+		want := int64(1700000000 + i*3600)
+		if rec.At != want {
+			t.Fatalf("round %d At = %d, want %d (fixed-period schedule)", i, rec.At, want)
+		}
+	}
+	if st := r.State(); st.State != "done" || st.NextRound != 3 {
+		t.Fatalf("final state: %+v", st)
+	}
+}
+
+func TestRunnerResumeSkipsStoredRounds(t *testing.T) {
+	store := newTestStore(t, 2) // rounds 0 and 1 already durable
+	clock := &schedClock{t: time.Unix(1700007200, 0)}
+	var ran []int
+	r := &Runner{
+		Store:    store,
+		Interval: time.Hour,
+		Rounds:   4,
+		Now:      clock.now,
+		Sleep:    clock.sleep,
+		Run: func(ctx context.Context, round int) (measure.RoundSummary, error) {
+			ran = append(ran, round)
+			return syntheticSummary(round), nil
+		},
+	}
+	if err := r.Loop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 2 || ran[0] != 2 || ran[1] != 3 {
+		t.Fatalf("resumed loop ran %v, want [2 3]", ran)
+	}
+	if store.Len() != 4 {
+		t.Fatalf("store has %d rounds, want 4", store.Len())
+	}
+}
+
+func TestRunnerRoundErrorAborts(t *testing.T) {
+	store := newTestStore(t, 0)
+	boom := errors.New("crawl failed")
+	r := &Runner{
+		Store:    store,
+		Interval: time.Hour,
+		Rounds:   3,
+		Run: func(ctx context.Context, round int) (measure.RoundSummary, error) {
+			if round == 1 {
+				return measure.RoundSummary{}, boom
+			}
+			return syntheticSummary(round), nil
+		},
+		Now:   (&schedClock{t: time.Unix(0, 0)}).now,
+		Sleep: func(ctx context.Context, d time.Duration) error { return nil },
+	}
+	err := r.Loop(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Round 0 is durable, the failed round 1 is not: a restarted loop
+	// re-runs it.
+	if store.Len() != 1 {
+		t.Fatalf("store has %d rounds after failure, want 1", store.Len())
+	}
+}
+
+func TestRunnerCancelDuringSleep(t *testing.T) {
+	store := newTestStore(t, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Runner{
+		Store:    store,
+		Interval: time.Hour,
+		Rounds:   2,
+		Now:      (&schedClock{t: time.Unix(0, 0)}).now,
+		Sleep: func(sctx context.Context, d time.Duration) error {
+			cancel()
+			return context.Cause(sctx)
+		},
+		Run: func(ctx context.Context, round int) (measure.RoundSummary, error) {
+			return syntheticSummary(round), nil
+		},
+	}
+	if err := r.Loop(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store has %d rounds, want 1 (canceled before round 1)", store.Len())
+	}
+}

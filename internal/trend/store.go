@@ -1,0 +1,281 @@
+package trend
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"cookiewalk/internal/measure"
+)
+
+// The time-indexed round store. One append-only journal file
+// (rounds.cwt) holds every completed round's Record as a checksummed
+// frame, in round order, using the same framing discipline as the
+// campaign checkpoint journals (internal/campaign): a magic header,
+// then frames of uvarint(payload length) + fixed64 FNV-1a checksum +
+// payload. The payload here is the Record's JSON — rounds are few
+// (one per schedule tick, not one per visit), so a self-describing
+// encoding wins over the campaign journals' byte-pinched binary.
+//
+// Durability mirrors the campaign journals: every append is fsynced
+// before Append returns, so a round is either fully in the store or
+// not in it at all; a torn tail from a mid-write crash is detected by
+// length/checksum and truncated away on Open, and the round whose
+// frame was torn simply re-runs (its crawl checkpoint journals make
+// the re-run cheap). A manifest.json identity guard refuses stores
+// built by a different study (seed/scale/reps/universe), exactly as
+// campaign manifests refuse foreign checkpoint directories.
+
+const (
+	storeMagic   = "cwts1\n"
+	storeFile    = "rounds.cwt"
+	manifestFile = "manifest.json"
+	// maxFrame bounds a frame's declared payload length during scans, so
+	// a corrupt length prefix can't ask for gigabytes. Round summaries
+	// are a few KB; 16 MiB is beyond generous.
+	maxFrame = 16 << 20
+)
+
+// Manifest pins the identity of the study a store belongs to. Every
+// field must match exactly for Open to accept an existing store —
+// appending rounds from a different universe would splice two
+// incomparable time series.
+type Manifest struct {
+	Seed        uint64  `json:"seed"`
+	Scale       float64 `json:"scale"`
+	Reps        int     `json:"reps"`
+	Targets     int     `json:"targets"`
+	TargetsHash uint64  `json:"targets_hash"`
+}
+
+// Record is one completed round: its index, the wall-clock start time
+// (Unix seconds; the only non-deterministic field, pinned by the
+// runner's clock) and the round's aggregates.
+type Record struct {
+	Round   int                  `json:"round"`
+	At      int64                `json:"at"`
+	Summary measure.RoundSummary `json:"summary"`
+}
+
+// Store is the open round store. It is safe for concurrent use: the
+// query API reads (Rounds, Len, Version) while the runner appends.
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	f    *os.File
+	recs []Record
+
+	// version counts completed appends; the response cache compares it
+	// to detect that a cached body predates the newest round. Reading
+	// it is lock-free so the serving hot path never contends with an
+	// in-flight append.
+	version atomic.Uint64
+}
+
+// Open opens (or creates) the round store in dir and verifies it
+// belongs to the study described by m. A torn tail — a frame cut short
+// or failing its checksum, from a crash mid-append — is truncated
+// away; everything before it is intact by checksum and loaded.
+func Open(dir string, m Manifest) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trend: store: %w", err)
+	}
+	if err := checkManifest(dir, m); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, storeFile)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trend: store: %w", err)
+	}
+	s := &Store{dir: dir, f: f}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// checkManifest validates an existing manifest against m, or writes m
+// for a fresh store.
+func checkManifest(dir string, m Manifest) error {
+	path := filepath.Join(dir, manifestFile)
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var have Manifest
+		if err := json.Unmarshal(data, &have); err != nil {
+			return fmt.Errorf("trend: store manifest %s is corrupt: %w", path, err)
+		}
+		if have != m {
+			return fmt.Errorf(
+				"trend: store %s belongs to a different study (store: seed=%d scale=%g reps=%d targets=%d hash=%#x; ours: seed=%d scale=%g reps=%d targets=%d hash=%#x)",
+				dir, have.Seed, have.Scale, have.Reps, have.Targets, have.TargetsHash,
+				m.Seed, m.Scale, m.Reps, m.Targets, m.TargetsHash)
+		}
+		return nil
+	case errors.Is(err, os.ErrNotExist):
+		data, err := json.Marshal(m)
+		if err != nil {
+			return fmt.Errorf("trend: store manifest: %w", err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("trend: store manifest: %w", err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("trend: store manifest: %w", err)
+	}
+}
+
+// load scans the journal, keeps the valid prefix and truncates any torn
+// tail. Records must be consecutive rounds starting at 0; a frame that
+// decodes but breaks the sequence marks the valid prefix's end too (it
+// can only come from a foreign or corrupt writer).
+func (s *Store) load() error {
+	data, err := io.ReadAll(s.f)
+	if err != nil {
+		return fmt.Errorf("trend: store: %w", err)
+	}
+	if len(data) == 0 {
+		if _, err := s.f.WriteString(storeMagic); err != nil {
+			return fmt.Errorf("trend: store: %w", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("trend: store: %w", err)
+		}
+		return nil
+	}
+	if len(data) < len(storeMagic) || string(data[:len(storeMagic)]) != storeMagic {
+		return fmt.Errorf("trend: %s is not a trend store (bad magic)", filepath.Join(s.dir, storeFile))
+	}
+	valid := int64(len(storeMagic))
+	rest := data[len(storeMagic):]
+	for len(rest) > 0 {
+		payload, n := nextFrame(rest)
+		if n == 0 {
+			break // torn or corrupt tail
+		}
+		var rec Record
+		if json.Unmarshal(payload, &rec) != nil || rec.Round != len(s.recs) {
+			break
+		}
+		s.recs = append(s.recs, rec)
+		valid += int64(n)
+		rest = rest[n:]
+	}
+	if valid < int64(len(data)) {
+		if err := s.f.Truncate(valid); err != nil {
+			return fmt.Errorf("trend: store: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := s.f.Seek(valid, io.SeekStart); err != nil {
+		return fmt.Errorf("trend: store: %w", err)
+	}
+	s.version.Store(uint64(len(s.recs)))
+	return nil
+}
+
+// nextFrame decodes one frame from b, returning its payload and total
+// encoded size, or (nil, 0) when b starts with a torn or corrupt frame.
+func nextFrame(b []byte) (payload []byte, size int) {
+	length, n := binary.Uvarint(b)
+	if n <= 0 || length > maxFrame {
+		return nil, 0
+	}
+	if len(b) < n+8+int(length) {
+		return nil, 0
+	}
+	sum := binary.LittleEndian.Uint64(b[n : n+8])
+	payload = b[n+8 : n+8+int(length)]
+	if hashPayload(payload) != sum {
+		return nil, 0
+	}
+	return payload, n + 8 + int(length)
+}
+
+// hashPayload is the frame checksum (64-bit FNV-1a over the payload).
+func hashPayload(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}
+
+// Append durably appends one round. rec.Round must be exactly the next
+// round index — the store is a gap-free time series, and an
+// out-of-order append means the caller lost track of what's already
+// persisted.
+func (s *Store) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.Round != len(s.recs) {
+		return fmt.Errorf("trend: store has %d rounds; cannot append round %d", len(s.recs), rec.Round)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("trend: store: %w", err)
+	}
+	frame := binary.AppendUvarint(nil, uint64(len(payload)))
+	frame = binary.LittleEndian.AppendUint64(frame, hashPayload(payload))
+	frame = append(frame, payload...)
+	if _, err := s.f.Write(frame); err != nil {
+		return fmt.Errorf("trend: store: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("trend: store: %w", err)
+	}
+	s.recs = append(s.recs, rec)
+	s.version.Add(1)
+	return nil
+}
+
+// Len returns the number of completed rounds.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Version returns the append counter — it changes exactly when a new
+// round lands, so equal versions imply byte-identical query responses.
+func (s *Store) Version() uint64 { return s.version.Load() }
+
+// Rounds returns a copy of the records with from ≤ Round ≤ to
+// (inclusive; bounds are clamped). to < 0 means "through the latest".
+func (s *Store) Rounds(from, to int) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if to < 0 || to >= len(s.recs) {
+		to = len(s.recs) - 1
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from > to {
+		return nil
+	}
+	return append([]Record(nil), s.recs[from:to+1]...)
+}
+
+// Close fsyncs and closes the journal file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

@@ -31,6 +31,9 @@ const (
 	artGerman    = "german"
 	artWalls     = "wallDomains"
 	artFig4      = "fig4cookies"
+	// artSummary is the per-round aggregate bundle the continuous-
+	// measurement service stores and serves (Study.RoundSummary).
+	artSummary = "roundSummary"
 )
 
 // node is one vertex of the experiment DAG.
