@@ -14,21 +14,21 @@ import (
 // state since PR 3's analysis cache:
 //
 //   - cached: the steady-state landscape visit — transport dispatch and
-//     a fingerprint lookup, NO parse/detect/classify. Measured ~23
-//     allocs (cookiewall) / ~15 (regular).
+//     a fingerprint lookup, NO parse/detect/classify. Measured 1 alloc
+//     (both kinds) since PR 10's scratch-request/adopted-header path.
 //   - uncached: the full pipeline a memo miss runs — parse, detection,
-//     language, category. Measured ~84 allocs (cookiewall) / ~70
-//     (regular), essentially PR 2's visit cost plus the frozen-words
-//     copy.
+//     language, category. Measured ~62 allocs (cookiewall) / ~56
+//     (regular) with PR 10's session-owned parser arenas.
 //
-// Budgets carry ~65-75% headroom for toolchain drift while still
+// Budgets carry generous headroom for toolchain drift while still
 // failing tier-1 long before either path regresses to its previous
-// profile (seed baseline: ~222 allocs per visit).
+// profile (PR 9 budgets: 40/30 cached, 150/125 uncached; seed
+// baseline: ~222 allocs per visit).
 const (
-	cookiewallCachedAllocBudget   = 40
-	regularCachedAllocBudget      = 30
-	cookiewallUncachedAllocBudget = 150
-	regularUncachedAllocBudget    = 125
+	cookiewallCachedAllocBudget   = 6
+	regularCachedAllocBudget      = 6
+	cookiewallUncachedAllocBudget = 110
+	regularUncachedAllocBudget    = 100
 )
 
 // TestVisitAllocBudget pins the allocation count of the single-visit

@@ -15,9 +15,18 @@
 //
 // The baseline convention (see ROADMAP.md): every PR that touches the
 // crawl path records its BenchmarkLandscapeCrawl numbers in a
-// BENCH_PR<n>.json with a top-level "result" object holding
-// sec_per_op, bytes_per_op and allocs_per_op. benchguard picks the
-// file with the highest <n>.
+// BENCH_PR<n>.json; benchguard picks the file with the highest <n>.
+// Two schemas are accepted:
+//
+//   - flat (PR 2-8): a top-level "result" object with sec_per_op,
+//     bytes_per_op, allocs_per_op — implicitly a single-core entry,
+//     compared against every measured line;
+//   - multi-core (PR 10+): a "results" array whose entries each carry
+//     a "gomaxprocs" key alongside the three metrics. A measured line
+//     is compared like against like: the -N suffix of its benchmark
+//     name (Go's GOMAXPROCS suffix; absent = 1) selects the entry
+//     with the matching gomaxprocs, and lines with no matching entry
+//     are reported but not gated.
 package main
 
 import (
@@ -33,15 +42,48 @@ import (
 	"strings"
 )
 
+// benchResult is one (gomaxprocs, metrics) baseline entry.
+type benchResult struct {
+	Gomaxprocs  int     `json:"gomaxprocs"`
+	SecPerOp    float64 `json:"sec_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func (r benchResult) usable() bool { return r.AllocsPerOp > 0 || r.BytesPerOp > 0 }
+
 // benchFile is the subset of BENCH_PR<n>.json benchguard consumes.
+// Result is the legacy flat schema, Results the multi-core one; a file
+// may carry both (Result doubling as the gomaxprocs=1 summary).
 type benchFile struct {
-	PR     int    `json:"pr"`
-	Bench  string `json:"benchmark"`
-	Result struct {
-		SecPerOp    float64 `json:"sec_per_op"`
-		BytesPerOp  float64 `json:"bytes_per_op"`
-		AllocsPerOp float64 `json:"allocs_per_op"`
-	} `json:"result"`
+	PR      int           `json:"pr"`
+	Bench   string        `json:"benchmark"`
+	Result  benchResult   `json:"result"`
+	Results []benchResult `json:"results"`
+}
+
+// baselineFor selects the entry a measurement taken at procs compares
+// against: the matching gomaxprocs entry of the multi-core schema, or
+// the flat result — which predates the convention and gates every
+// line — when no array is present.
+func (bf *benchFile) baselineFor(procs int) (benchResult, bool) {
+	for _, r := range bf.Results {
+		if r.Gomaxprocs == procs && r.usable() {
+			return r, true
+		}
+	}
+	if len(bf.Results) == 0 && bf.Result.usable() {
+		return bf.Result, true
+	}
+	return benchResult{}, false
+}
+
+// measurement is one parsed benchmark output line.
+type measurement struct {
+	Gomaxprocs  int
+	SecPerOp    float64
+	BytesPerOp  float64
+	AllocsPerOp float64
 }
 
 func main() {
@@ -58,9 +100,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("baseline: %s (PR %d): %.2f s/op, %.0f B/op, %.0f allocs/op\n",
-		filepath.Base(baselinePath), baseline.PR,
-		baseline.Result.SecPerOp, baseline.Result.BytesPerOp, baseline.Result.AllocsPerOp)
+	fmt.Printf("baseline: %s (PR %d)\n", filepath.Base(baselinePath), baseline.PR)
+	for _, r := range baselineEntries(baseline) {
+		fmt.Printf("  gomaxprocs=%d: %.2f s/op, %.0f B/op, %.0f allocs/op\n",
+			r.Gomaxprocs, r.SecPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
 
 	var output string
 	if *input != "" {
@@ -71,43 +115,65 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sec, bytesOp, allocsOp, err := parseBenchOutput(output, *bench)
+	measurements, err := parseBenchOutput(output, *bench)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("current:  %s: %.2f s/op, %.0f B/op, %.0f allocs/op\n", *bench, sec, bytesOp, allocsOp)
 
 	failed := false
-	for _, m := range []struct {
-		name     string
-		current  float64
-		baseline float64
-	}{
-		{"allocs/op", allocsOp, baseline.Result.AllocsPerOp},
-		{"B/op", bytesOp, baseline.Result.BytesPerOp},
-	} {
-		if m.baseline <= 0 {
-			fmt.Printf("skip %s: baseline is %v\n", m.name, m.baseline)
+	for _, m := range measurements {
+		fmt.Printf("current:  %s (gomaxprocs=%d): %.2f s/op, %.0f B/op, %.0f allocs/op\n",
+			*bench, m.Gomaxprocs, m.SecPerOp, m.BytesPerOp, m.AllocsPerOp)
+		base, ok := baseline.baselineFor(m.Gomaxprocs)
+		if !ok {
+			fmt.Printf("  no gomaxprocs=%d baseline entry in %s — informational only\n",
+				m.Gomaxprocs, filepath.Base(baselinePath))
 			continue
 		}
-		ratio := m.current / m.baseline
-		verdict := "ok"
-		if ratio > 1+*threshold {
-			verdict = "REGRESSION"
-			failed = true
+		for _, c := range []struct {
+			name     string
+			current  float64
+			baseline float64
+		}{
+			{"allocs/op", m.AllocsPerOp, base.AllocsPerOp},
+			{"B/op", m.BytesPerOp, base.BytesPerOp},
+		} {
+			if c.baseline <= 0 {
+				fmt.Printf("  skip %s: baseline is %v\n", c.name, c.baseline)
+				continue
+			}
+			ratio := c.current / c.baseline
+			verdict := "ok"
+			if ratio > 1+*threshold {
+				verdict = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("  %-10s %12.0f -> %12.0f  (%+.1f%%, limit +%.0f%%)  %s\n",
+				c.name, c.baseline, c.current, (ratio-1)*100, *threshold*100, verdict)
 		}
-		fmt.Printf("%-10s %12.0f -> %12.0f  (%+.1f%%, limit +%.0f%%)  %s\n",
-			m.name, m.baseline, m.current, (ratio-1)*100, *threshold*100, verdict)
-	}
-	if baseline.Result.SecPerOp > 0 {
-		fmt.Printf("%-10s %12.2f -> %12.2f  (informational only — wall clock is machine-dependent)\n",
-			"s/op", baseline.Result.SecPerOp, sec)
+		if base.SecPerOp > 0 {
+			fmt.Printf("  %-10s %12.2f -> %12.2f  (informational only — wall clock is machine-dependent)\n",
+				"s/op", base.SecPerOp, m.SecPerOp)
+		}
 	}
 	if failed {
 		fmt.Printf("benchguard: FAIL: allocation regression beyond +%.0f%% vs %s\n", *threshold*100, filepath.Base(baselinePath))
 		os.Exit(1)
 	}
 	fmt.Println("benchguard: PASS")
+}
+
+// baselineEntries lists a file's usable entries for the banner:
+// the multi-core array when present, the flat result otherwise.
+func baselineEntries(bf benchFile) []benchResult {
+	if len(bf.Results) > 0 {
+		return bf.Results
+	}
+	r := bf.Result
+	if r.Gomaxprocs == 0 {
+		r.Gomaxprocs = 1
+	}
+	return []benchResult{r}
 }
 
 func fatal(err error) {
@@ -150,7 +216,11 @@ func latestBaseline(dir string) (string, benchFile, error) {
 	if err := json.Unmarshal(data, &bf); err != nil {
 		return "", benchFile{}, fmt.Errorf("parse %s: %w", bestPath, err)
 	}
-	if bf.Result.AllocsPerOp <= 0 && bf.Result.BytesPerOp <= 0 {
+	usable := bf.Result.usable()
+	for _, r := range bf.Results {
+		usable = usable || r.usable()
+	}
+	if !usable {
 		return "", benchFile{}, fmt.Errorf("%s has no usable result metrics", bestPath)
 	}
 	return bestPath, bf, nil
@@ -179,20 +249,35 @@ func runBenchmark(dir, bench, benchtime string) (string, error) {
 	return string(out), nil
 }
 
-// parseBenchOutput extracts (sec/op, B/op, allocs/op) from go test
-// -bench output, e.g.:
+// parseBenchOutput extracts every (gomaxprocs, sec/op, B/op,
+// allocs/op) result line for bench from go test output, e.g.:
 //
 //	BenchmarkLandscapeCrawl-8  1  2331148440 ns/op  751924624 B/op  7051896 allocs/op
-func parseBenchOutput(output, bench string) (sec, bytesOp, allocsOp float64, err error) {
+//
+// The -8 is Go's GOMAXPROCS suffix (omitted when it is 1); -cpu runs
+// emit one line per setting, all of which are returned.
+func parseBenchOutput(output, bench string) ([]measurement, error) {
+	var ms []measurement
 	for _, line := range strings.Split(output, "\n") {
 		fields := strings.Fields(line)
 		if len(fields) < 4 {
 			continue
 		}
 		name := fields[0]
-		if name != bench && !strings.HasPrefix(name, bench+"-") {
-			continue
+		procs := 1
+		if name != bench {
+			rest, ok := strings.CutPrefix(name, bench+"-")
+			if !ok {
+				continue
+			}
+			n, err := strconv.Atoi(rest)
+			if err != nil {
+				continue
+			}
+			procs = n
 		}
+		var m measurement
+		m.Gomaxprocs = procs
 		found := 0
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, perr := strconv.ParseFloat(fields[i], 64)
@@ -201,20 +286,23 @@ func parseBenchOutput(output, bench string) (sec, bytesOp, allocsOp float64, err
 			}
 			switch fields[i+1] {
 			case "ns/op":
-				sec = v / 1e9
+				m.SecPerOp = v / 1e9
 				found++
 			case "B/op":
-				bytesOp = v
+				m.BytesPerOp = v
 				found++
 			case "allocs/op":
-				allocsOp = v
+				m.AllocsPerOp = v
 				found++
 			}
 		}
-		if found >= 3 {
-			return sec, bytesOp, allocsOp, nil
+		if found < 3 {
+			return nil, fmt.Errorf("benchmark line lacks ns/op + B/op + allocs/op (need b.ReportAllocs or -benchmem): %q", line)
 		}
-		return 0, 0, 0, fmt.Errorf("benchmark line lacks ns/op + B/op + allocs/op (need b.ReportAllocs or -benchmem): %q", line)
+		ms = append(ms, m)
 	}
-	return 0, 0, 0, fmt.Errorf("no %s result in output", bench)
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("no %s result in output", bench)
+	}
+	return ms, nil
 }

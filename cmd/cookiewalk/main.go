@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"cookiewalk"
+	"cookiewalk/internal/profiling"
 )
 
 func main() {
@@ -93,8 +94,19 @@ func main() {
 		fleetCert = flag.String("fleet-cert", "", "TLS certificate (PEM) for the coordinator: -serve listens with https:// (requires -fleet-key)")
 		fleetKey  = flag.String("fleet-key", "", "TLS private key (PEM) for -fleet-cert")
 		fleetCA   = flag.String("fleet-ca", "", "CA bundle (PEM) workers trust when dialing an https:// coordinator (empty = system pool)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-GC live memory) to this file on exit")
 	)
 	flag.Parse()
+
+	if err := profiling.Start(*cpuProfile, *memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	// Stop is idempotent; exit paths that bypass defers (the fleet
+	// coordinator's signal handler) flush explicitly before os.Exit.
+	defer profiling.Stop()
 
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "error: -resume requires -checkpoint DIR")
@@ -342,6 +354,7 @@ func serveFleet(study *cookiewalk.Study, addr, certFile, keyFile string) (stop f
 			}
 			srv.Close()
 			fmt.Fprintln(os.Stderr, "coordinator stopped cleanly — resume with the same -checkpoint to continue the fleet where it left off")
+			profiling.Stop() // os.Exit skips defers; flush armed profiles first
 			os.Exit(3)
 		}
 		fmt.Fprintln(os.Stderr, "error:", err)

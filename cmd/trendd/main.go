@@ -48,6 +48,7 @@ import (
 	"cookiewalk"
 	"cookiewalk/internal/campaign"
 	"cookiewalk/internal/measure"
+	"cookiewalk/internal/profiling"
 	"cookiewalk/internal/trend"
 )
 
@@ -71,8 +72,19 @@ func main() {
 		visitTimeout = flag.Duration("visit-timeout", 0, "per-visit wall-clock deadline, navigation + subresources + retries (0 = none)")
 		visitRetries = flag.Int("visit-retries", 0, "extra attempts per request on transient transport failures")
 		perHost      = flag.Float64("per-host", 0, "per-host request rate limit in requests/second (0 = unlimited)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole daemon run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-GC live memory) to this file on exit")
 	)
 	flag.Parse()
+
+	if err := profiling.Start(*cpuProfile, *memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	// Stop is idempotent; the signal path below exits with os.Exit(3),
+	// which skips defers, so it flushes explicitly first.
+	defer profiling.Stop()
 
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "error: -store DIR is required")
@@ -179,6 +191,8 @@ func main() {
 			// The round that was interrupted left its campaign journals
 			// under the store; the same command resumes it by replay.
 			fmt.Fprintf(os.Stderr, "\nsignal received: %d rounds stored — restart with the same -store to resume the schedule\n", store.Len())
+			store.Close()
+			profiling.Stop() // os.Exit skips defers; flush armed profiles first
 			os.Exit(3)
 		}
 		fmt.Fprintln(os.Stderr, "error:", err)

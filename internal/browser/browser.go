@@ -83,6 +83,21 @@ type Browser struct {
 	// transient failure that survived the whole retry budget) during
 	// the current composition; see ComposeErr.
 	composeErr error
+	// parser is the session-owned HTML parser: a Browser is
+	// single-goroutine by contract, so its parse state (token stacks,
+	// node-arena tail) stays worker-local for the whole session's
+	// lifetime instead of bouncing through dom's global pool per page.
+	parser *dom.Parser
+	// scratch is the reusable request/header state behind the
+	// zero-resilience in-process fast path; see scratchRequest.
+	scratch reqScratch
+	// cookieBuf is the reusable Cookie-header assembly buffer.
+	cookieBuf []byte
+	// topURL backs FetchTopDomain's parsed-URL fast path. It is only
+	// ever handed to request/fetch plumbing that drops every reference
+	// before FetchTopDomain returns (redirects re-parse into fresh
+	// URLs), so reusing it across visits is invisible.
+	topURL url.URL
 }
 
 // DefaultUserAgent imitates OpenWPM's instrumented Firefox.
@@ -207,6 +222,27 @@ func (b *Browser) FetchTop(rawurl string) (FetchResult, error) {
 	}, nil
 }
 
+// FetchTopDomain is FetchTop for the canonical crawl entry point
+// "https://<domain>/", filling a session-owned url.URL instead of
+// re-parsing (and first concatenating) the URL string on every visit.
+// The reused URL never outlives the visit: redirects re-parse into
+// fresh URLs, and composed pages are dropped before the session's next
+// fetch. Callers that retain FetchResult.URL across visits of one
+// session must use FetchTop.
+func (b *Browser) FetchTopDomain(domain string) (FetchResult, error) {
+	b.topURL = url.URL{Scheme: "https", Host: domain, Path: "/"}
+	resp, finalURL, err := b.fetchURL(http.MethodGet, &b.topURL, nil, b.MaxRedirects, maxPageBody)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	return FetchResult{
+		URL:         finalURL,
+		Status:      resp.status,
+		Body:        resp.body,
+		Fingerprint: b.pageFingerprint(resp, finalURL),
+	}, nil
+}
+
 // pageFingerprint folds every non-fetched Compose input into the
 // body's content hash. The URL is mixed component-wise to avoid the
 // URL.String allocation on the per-visit hot path.
@@ -237,7 +273,7 @@ func (b *Browser) Compose(fr FetchResult) *Page {
 	b.composeErr = nil
 	page := &Page{
 		URL:         fr.URL,
-		Doc:         dom.Parse(fr.Body),
+		Doc:         b.parse(fr.Body),
 		Status:      fr.Status,
 		Fingerprint: fr.Fingerprint,
 	}
@@ -247,6 +283,23 @@ func (b *Browser) Compose(fr FetchResult) *Page {
 	b.applyCosmetics(page)
 	b.applyAdblockDetectors(page)
 	return page
+}
+
+// parse parses a document through the session-owned parser,
+// lazily created on first use and retained across Reset.
+func (b *Browser) parse(src string) *dom.Node {
+	if b.parser == nil {
+		b.parser = dom.NewParser()
+	}
+	return b.parser.Parse(src)
+}
+
+// parseFragment is parse for fragments.
+func (b *Browser) parseFragment(src string) *dom.Node {
+	if b.parser == nil {
+		b.parser = dom.NewParser()
+	}
+	return b.parser.ParseFragment(src)
 }
 
 // ComposeErr reports whether the most recent Compose was degraded by
@@ -303,7 +356,20 @@ func (b *Browser) fetch(method, rawurl string, form url.Values, redirectsLeft, l
 	if err != nil {
 		return response{}, nil, fmt.Errorf("browser: bad url %q: %w", rawurl, err)
 	}
-	cur := rawurl
+	return b.fetchParsed(method, u, form, rawurl, redirectsLeft, limit)
+}
+
+// fetchURL is fetch for an already-parsed URL: the hot crawl paths
+// build their URL without a string round trip, so the raw form — used
+// only in error text — is derived lazily on the (cold) paths that need
+// it.
+func (b *Browser) fetchURL(method string, u *url.URL, form url.Values, redirectsLeft, limit int) (response, *url.URL, error) {
+	return b.fetchParsed(method, u, form, "", redirectsLeft, limit)
+}
+
+// fetchParsed is the shared redirect loop. cur is the current URL's raw
+// string for error text; "" means "derive from u when needed".
+func (b *Browser) fetchParsed(method string, u *url.URL, form url.Values, cur string, redirectsLeft, limit int) (response, *url.URL, error) {
 	for {
 		resp, err := b.doRequest(method, u, form, cur, limit)
 		if err != nil {
@@ -314,6 +380,9 @@ func (b *Browser) fetch(method, rawurl string, form url.Values, redirectsLeft, l
 		if isRedirect(resp.status) && redirectsLeft > 0 {
 			loc := resp.header.Get("Location")
 			if loc == "" {
+				if cur == "" {
+					cur = u.String()
+				}
 				return response{}, nil, fmt.Errorf("browser: redirect without location from %s", cur)
 			}
 			next, err := u.Parse(loc)
@@ -351,9 +420,68 @@ func (b *Browser) roundTrip(req *http.Request, rawurl string, limit int) (respon
 	defer resp.Body.Close()
 	bodyBytes, err := io.ReadAll(io.LimitReader(resp.Body, int64(limit)))
 	if err != nil {
+		if rawurl == "" {
+			rawurl = req.URL.String()
+		}
 		return response{}, fmt.Errorf("browser: read %s: %w", rawurl, err)
 	}
 	return response{status: resp.StatusCode, header: resp.Header, body: string(bodyBytes)}, nil
+}
+
+// reqScratch is the reusable request state behind scratchRequest: one
+// http.Request, one header map, and fixed single-value slices for each
+// header the browser sets — so a steady-state request on the fast path
+// allocates nothing but the Cookie string (and that only when the jar
+// has cookies to send).
+type reqScratch struct {
+	req    http.Request
+	hdr    http.Header
+	ua     [1]string
+	geo    [1]string
+	visit  [1]string
+	cookie [1]string
+}
+
+// scratchRequest assembles the session's reusable request in place.
+// Callers must only use it on the synchronous in-process fast path
+// (bodyTransport) with no form body and no per-request context: such a
+// transport never retains the request past the call, so reusing the
+// struct and header map across requests is invisible. The header keys
+// are written pre-canonicalized (http.Header is a plain map), so farm
+// lookups via Header.Get match.
+func (b *Browser) scratchRequest(method string, u *url.URL) *http.Request {
+	s := &b.scratch
+	if s.hdr == nil {
+		s.hdr = http.Header{
+			"User-Agent":      s.ua[:],
+			vantage.GeoHeader: s.geo[:],
+		}
+		s.req = http.Request{
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     s.hdr,
+		}
+	}
+	s.ua[0] = b.UserAgent
+	s.geo[0] = b.VP.Name
+	if b.Visit != "" {
+		s.visit[0] = b.Visit
+		s.hdr[vantage.VisitHeader] = s.visit[:]
+	} else {
+		delete(s.hdr, vantage.VisitHeader)
+	}
+	b.cookieBuf = b.Jar.AppendCookieHeader(b.cookieBuf[:0], u.Hostname(), u.Path, u.Scheme == "https")
+	if len(b.cookieBuf) > 0 {
+		s.cookie[0] = string(b.cookieBuf)
+		s.hdr["Cookie"] = s.cookie[:]
+	} else {
+		delete(s.hdr, "Cookie")
+	}
+	s.req.Method = method
+	s.req.URL = u
+	s.req.Host = u.Host
+	return &s.req
 }
 
 // newRequest assembles the request by hand: the URL is already parsed,
@@ -380,17 +508,9 @@ func (b *Browser) newRequest(method string, u *url.URL, form url.Values) *http.R
 	if b.Visit != "" {
 		req.Header.Set(vantage.VisitHeader, b.Visit)
 	}
-	if cs := b.Jar.CookiesFor(u.Hostname(), u.Path, u.Scheme == "https"); len(cs) > 0 {
-		var sb strings.Builder
-		for i, c := range cs {
-			if i > 0 {
-				sb.WriteString("; ")
-			}
-			sb.WriteString(c.Name)
-			sb.WriteByte('=')
-			sb.WriteString(c.Value)
-		}
-		req.Header.Set("Cookie", sb.String())
+	b.cookieBuf = b.Jar.AppendCookieHeader(b.cookieBuf[:0], u.Hostname(), u.Path, u.Scheme == "https")
+	if len(b.cookieBuf) > 0 {
+		req.Header.Set("Cookie", string(b.cookieBuf))
 	}
 	return req
 }
@@ -490,7 +610,7 @@ func (b *Browser) runScriptDirectives(page *Page) {
 		if !ok {
 			continue
 		}
-		for _, child := range dom.ParseFragment(frag).Children() {
+		for _, child := range b.parseFragment(frag).Children() {
 			child.Detach()
 			target.AppendChild(child)
 		}
@@ -517,7 +637,7 @@ func (b *Browser) loadFrames(page *Page, root *dom.Node, depth int) {
 		if !ok {
 			continue
 		}
-		fr.FrameDoc = dom.Parse(body)
+		fr.FrameDoc = b.parse(body)
 		b.loadFrames(page, fr.FrameDoc, depth-1)
 	}
 }

@@ -174,6 +174,14 @@ func (r *Resilience) sleep(d time.Duration) error {
 func (b *Browser) doRequest(method string, u *url.URL, form url.Values, cur string, limit int) (response, error) {
 	res := &b.Resilience
 	if res.Retries <= 0 && res.Gate == nil {
+		if res.Ctx == nil && form == nil {
+			if _, ok := b.Transport.(bodyTransport); ok {
+				// Synchronous in-process dispatch never retains the
+				// request, so the session's scratch request/header can be
+				// reused across calls with zero per-request allocation.
+				return b.roundTrip(b.scratchRequest(method, u), cur, limit)
+			}
+		}
 		req := b.newRequest(method, u, form)
 		if res.Ctx != nil {
 			req = req.WithContext(res.Ctx)
@@ -182,6 +190,12 @@ func (b *Browser) doRequest(method string, u *url.URL, form url.Values, cur stri
 	}
 
 	host := u.Hostname()
+	if cur == "" {
+		// Resilience error text (retry exhaustion, 5xx classification)
+		// embeds the request URL; materialize it once per logical
+		// request on this (already allocation-heavier) path.
+		cur = u.String()
+	}
 	if res.Gate != nil {
 		// Breaker admission is per logical request, not per attempt:
 		// the breaker judges final outcomes, and a half-open probe slot

@@ -236,6 +236,55 @@ func withMeter(ctx context.Context, m *Meter) context.Context {
 	return context.WithValue(ctx, meterKey{}, m)
 }
 
+// Affinity is a worker-affine scratch slot. Every worker goroutine of a
+// campaign carries its own Affinity in the visit context, so the visit
+// layer can keep expensive per-session state (a browser, its parser
+// arenas, its cookie-jar map) pinned to one worker instead of bouncing
+// it through a global sync.Pool on every visit. A worker runs its
+// visits strictly sequentially, so the slot needs no locking; it must
+// never be shared outside the visit that read it from its context.
+//
+// The slot holds state only between visits of one worker: take the
+// value with Take at acquire time (leaving the slot empty guards
+// against nested acquires aliasing one session) and Put it back at
+// release time. Visits running outside a campaign (direct calls,
+// tests) see a nil *Affinity, on which both methods are safe no-ops —
+// callers fall back to their global pool.
+type Affinity struct {
+	val any
+}
+
+// Take removes and returns the slot's value (nil when empty or when a
+// is nil).
+func (a *Affinity) Take() any {
+	if a == nil {
+		return nil
+	}
+	v := a.val
+	a.val = nil
+	return v
+}
+
+// Put stores v in the slot (no-op on a nil receiver).
+func (a *Affinity) Put(v any) {
+	if a != nil {
+		a.val = v
+	}
+}
+
+type affinityKey struct{}
+
+// AffinityFrom returns the worker's Affinity slot from a visit
+// context, or nil outside a campaign worker.
+func AffinityFrom(ctx context.Context) *Affinity {
+	a, _ := ctx.Value(affinityKey{}).(*Affinity)
+	return a
+}
+
+func withAffinity(ctx context.Context, a *Affinity) context.Context {
+	return context.WithValue(ctx, affinityKey{}, a)
+}
+
 // Result carries one visit's outcome to the sink.
 type Result[R any] struct {
 	// Index is the global position in the target list.
@@ -429,7 +478,28 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 		workers = hi - lo
 	}
 	idxCh := make(chan int)
-	resCh := make(chan shardResult[R], window)
+	// Workers hand results to the delivery loop in batches, amortizing
+	// the per-visit channel synchronization: a worker keeps appending to
+	// its private batch while more work is immediately available and
+	// flushes when the batch fills OR before it would block on idxCh —
+	// so under load batches run full, and when the pipeline drains (or
+	// the dispatcher stalls on the token window) every partial batch is
+	// flushed rather than held. Batch boundaries are therefore pure
+	// scheduling: the re-sequencer below delivers the same results in
+	// the same order regardless of how they were grouped in transit.
+	batchCap := 1
+	if workers > 0 {
+		batchCap = window / workers
+	}
+	if batchCap < 1 {
+		batchCap = 1
+	}
+	if batchCap > 32 {
+		batchCap = 32
+	}
+	resCh := make(chan []shardResult[R], workers)
+	// freeCh recycles drained batch slices back to the workers.
+	freeCh := make(chan []shardResult[R], workers)
 	// tokens caps dispatched-but-undelivered visits at window, which
 	// bounds the re-sequencing buffer below.
 	tokens := make(chan struct{}, window)
@@ -440,14 +510,51 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 		go func() {
 			defer wg.Done()
 			// One context wrap per worker goroutine, not per visit: the
-			// meter rides to the visit layer as a context value.
-			vctx := withMeter(ctx, meter)
-			for i := range idxCh {
+			// meter and the worker-affine scratch slot ride to the visit
+			// layer as context values.
+			vctx := withAffinity(withMeter(ctx, meter), &Affinity{})
+			var batch []shardResult[R]
+			flush := func() {
+				if len(batch) > 0 {
+					resCh <- batch
+					batch = nil
+				}
+			}
+			for {
+				var i int
+				var ok bool
+				if len(batch) == 0 {
+					i, ok = <-idxCh
+				} else {
+					select {
+					case i, ok = <-idxCh:
+					default:
+						// Nothing immediately dispatchable: flush the
+						// partial batch before blocking, so the delivery
+						// loop (and through it the token window) can make
+						// progress on what this worker already finished.
+						flush()
+						i, ok = <-idxCh
+					}
+				}
+				if !ok {
+					break
+				}
+				if batch == nil {
+					select {
+					case batch = <-freeCh:
+					default:
+						batch = make([]shardResult[R], 0, batchCap)
+					}
+				}
 				r := Result[R]{Index: i, Shard: shard}
 				if ctx.Err() != nil {
 					// Dispatched before cancellation won the race: report
 					// the target as unvisited rather than calling visit.
-					resCh <- shardResult[R]{res: r, canceled: true}
+					batch = append(batch, shardResult[R]{res: r, canceled: true})
+					if len(batch) == cap(batch) {
+						flush()
+					}
 					continue
 				}
 				if rec, ok := replay[i]; ok {
@@ -457,7 +564,10 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 							if rec.errStr != "" {
 								r.Err = errors.New(rec.errStr)
 							}
-							resCh <- shardResult[R]{res: r, replayed: true}
+							batch = append(batch, shardResult[R]{res: r, replayed: true})
+							if len(batch) == cap(batch) {
+								flush()
+							}
 							continue
 						}
 					}
@@ -470,7 +580,10 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 				// target as canceled, exactly like the dispatch-race path
 				// above.
 				if !cfg.Budget.acquire(ctx) {
-					resCh <- shardResult[R]{res: r, canceled: true}
+					batch = append(batch, shardResult[R]{res: r, canceled: true})
+					if len(batch) == cap(batch) {
+						flush()
+					}
 					continue
 				}
 				r.Value, r.Err = visit(vctx, targets[i])
@@ -487,8 +600,12 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 						ck.fail(fmt.Errorf("encode index %d: %w", i, err))
 					}
 				}
-				resCh <- sr
+				batch = append(batch, sr)
+				if len(batch) == cap(batch) {
+					flush()
+				}
 			}
+			flush()
 		}()
 	}
 	go func() { // dispatcher
@@ -516,15 +633,35 @@ func runShard[T, R any](ctx context.Context, cfg Config, targets []T,
 		progressEvery = 1000
 	}
 	next := lo
-	pending := make(map[int]shardResult[R], window)
-	for r := range resCh {
-		pending[r.res.Index] = r
+	// Re-sequencing ring: the token window caps dispatched-but-
+	// undelivered indices at `window`, and delivery below frees a token
+	// only when `next` advances — so every in-flight index i satisfies
+	// next <= i < next+window, and i%window addresses a unique live
+	// slot. A fixed ring therefore replaces the old pending map: no
+	// per-result map assignment/deletion, no rehashing, same order.
+	ring := make([]shardResult[R], window)
+	ringSet := make([]bool, window)
+	for batch := range resCh {
+		for _, r := range batch {
+			slot := r.res.Index % window
+			ring[slot] = r
+			ringSet[slot] = true
+		}
+		// Recycle the drained batch slice (clearing it first so pooled
+		// slices don't pin delivered result values).
+		clear(batch)
+		select {
+		case freeCh <- batch[:0]:
+		default:
+		}
 		for {
-			q, ok := pending[next]
-			if !ok {
+			slot := next % window
+			if !ringSet[slot] {
 				break
 			}
-			delete(pending, next)
+			q := ring[slot]
+			ring[slot] = shardResult[R]{}
+			ringSet[slot] = false
 			<-tokens
 			next++
 			if q.canceled {

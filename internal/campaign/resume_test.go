@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -372,17 +373,18 @@ func TestRunWipesStaleJournal(t *testing.T) {
 	if _, err := Run(context.Background(), Config{Checkpoint: cp}, targets, testVisit, nil); err != nil {
 		t.Fatal(err)
 	}
-	// A fresh Run re-journals everything...
-	visits := 0
+	// A fresh Run re-journals everything... (atomic: the visit func
+	// runs on every worker goroutine in parallel)
+	var visits atomic.Int64
 	if _, err := Run(context.Background(), Config{Checkpoint: cp}, targets,
 		func(ctx context.Context, x int) (string, error) {
-			visits++
+			visits.Add(1)
 			return testVisit(ctx, x)
 		}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if visits != n {
-		t.Fatalf("fresh run visited %d of %d", visits, n)
+	if visits.Load() != n {
+		t.Fatalf("fresh run visited %d of %d", visits.Load(), n)
 	}
 	// ...and its journal is still complete and resumable.
 	stats, err := Resume(context.Background(), Config{Checkpoint: cp}, targets, testVisit, nil)

@@ -13,6 +13,7 @@
 package cookies
 
 import (
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,21 +44,32 @@ func (c *Cookie) Expired(now time.Time) bool {
 
 // ParseSetCookie parses one Set-Cookie header value received from
 // requestHost. It returns nil for malformed or rejected cookies
-// (empty name, domain not matching the request host). Segments are
-// walked with IndexByte and attribute names matched case-insensitively
-// in place — every page view of every crawl parses a handful of these
-// headers, so the old Split/SplitN/ToLower allocations added up.
+// (empty name, domain not matching the request host).
 func ParseSetCookie(header, requestHost string, now time.Time) *Cookie {
+	c, ok := parseSetCookie(header, requestHost, now)
+	if !ok {
+		return nil
+	}
+	return &c
+}
+
+// parseSetCookie is ParseSetCookie returning the cookie by value: the
+// jar stores values, so its header-ingest path never allocates a
+// per-cookie box. Segments are walked with IndexByte and attribute
+// names matched case-insensitively in place — every page view of every
+// crawl parses a handful of these headers, so the old
+// Split/SplitN/ToLower allocations added up.
+func parseSetCookie(header, requestHost string, now time.Time) (Cookie, bool) {
 	seg, rest, _ := strings.Cut(header, ";")
 	eq := strings.IndexByte(seg, '=')
 	if eq < 0 {
-		return nil
+		return Cookie{}, false
 	}
 	name := strings.TrimSpace(seg[:eq])
 	if name == "" {
-		return nil
+		return Cookie{}, false
 	}
-	c := &Cookie{
+	c := Cookie{
 		Name:     name,
 		Value:    strings.TrimSpace(seg[eq+1:]),
 		Domain:   canonicalHost(requestHost),
@@ -81,7 +93,7 @@ func ParseSetCookie(header, requestHost string, now time.Time) *Cookie {
 			// RFC 6265 §5.3: the request host must domain-match the
 			// attribute, and the attribute must not be a public suffix.
 			if !domainMatch(canonicalHost(requestHost), d) || publicsuffix.IsSuffix(d) {
-				return nil
+				return Cookie{}, false
 			}
 			c.Domain = d
 			c.HostOnly = false
@@ -109,7 +121,7 @@ func ParseSetCookie(header, requestHost string, now time.Time) *Cookie {
 			c.HTTPOnly = true
 		}
 	}
-	return c
+	return c, true
 }
 
 // domainMatch implements RFC 6265 §5.1.3: host domain-matches domain
@@ -144,18 +156,30 @@ func pathMatch(requestPath, cookiePath string) bool {
 // Jar stores cookies for the emulated browser. It is safe for
 // concurrent use. Expiry is evaluated against the Now function, which
 // defaults to time.Now but is fixed in tests for determinism.
+//
+// Storage is by value under a struct key: the per-cookie box and the
+// domain+";"+path+";"+name key concatenation used to cost two
+// allocations per Set-Cookie header across millions of page views.
 type Jar struct {
 	mu      sync.Mutex
-	cookies map[string]*Cookie // key: domain + ";" + path + ";" + name
+	cookies map[cookieKey]Cookie
+	// scratch is the reusable candidate buffer behind
+	// AppendCookieHeader; guarded by mu.
+	scratch []Cookie
 	Now     func() time.Time
+}
+
+// cookieKey identifies a cookie per RFC 6265 storage semantics.
+type cookieKey struct {
+	domain, path, name string
 }
 
 // NewJar returns an empty jar.
 func NewJar() *Jar {
-	return &Jar{cookies: make(map[string]*Cookie), Now: time.Now}
+	return &Jar{cookies: make(map[cookieKey]Cookie), Now: time.Now}
 }
 
-func key(c *Cookie) string { return c.Domain + ";" + c.Path + ";" + c.Name }
+func key(c *Cookie) cookieKey { return cookieKey{c.Domain, c.Path, c.Name} }
 
 // SetFromHeaders stores cookies from Set-Cookie header values received
 // in a response from host. Malformed cookies are dropped; expired
@@ -165,15 +189,15 @@ func (j *Jar) SetFromHeaders(host string, headers []string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	for _, h := range headers {
-		c := ParseSetCookie(h, host, now)
-		if c == nil {
+		c, ok := parseSetCookie(h, host, now)
+		if !ok {
 			continue
 		}
 		if c.Expired(now) {
-			delete(j.cookies, key(c))
+			delete(j.cookies, key(&c))
 			continue
 		}
-		j.cookies[key(c)] = c
+		j.cookies[key(&c)] = c
 	}
 }
 
@@ -181,12 +205,44 @@ func (j *Jar) SetFromHeaders(host string, headers []string) {
 func (j *Jar) Set(c *Cookie) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.cookies[key(c)] = c
+	j.cookies[key(c)] = *c
 }
 
-// CookiesFor returns the cookies that would be sent on a request to
-// host+path over a connection that is secure when secure is true,
-// sorted by longest path then name for deterministic header order.
+// sendable reports whether c would be sent on a request to (h, path,
+// secure) at now; h must already be canonical.
+func (c *Cookie) sendable(h, path string, secure bool, now time.Time) bool {
+	if c.Expired(now) {
+		return false
+	}
+	if c.Secure && !secure {
+		return false
+	}
+	if c.HostOnly {
+		if h != c.Domain {
+			return false
+		}
+	} else if !domainMatch(h, c.Domain) {
+		return false
+	}
+	return pathMatch(path, c.Path)
+}
+
+// sendOrder is the deterministic Cookie-header order: longest path,
+// then name, then domain.
+func sendOrder(a, b *Cookie) bool {
+	if len(a.Path) != len(b.Path) {
+		return len(a.Path) > len(b.Path)
+	}
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return a.Domain < b.Domain
+}
+
+// CookiesFor returns copies of the cookies that would be sent on a
+// request to host+path over a connection that is secure when secure is
+// true, sorted by longest path then name for deterministic header
+// order.
 func (j *Jar) CookiesFor(host, path string, secure bool) []*Cookie {
 	if path == "" {
 		path = "/"
@@ -197,37 +253,63 @@ func (j *Jar) CookiesFor(host, path string, secure bool) []*Cookie {
 	defer j.mu.Unlock()
 	var out []*Cookie
 	for _, c := range j.cookies {
-		if c.Expired(now) {
-			continue
+		if c.sendable(h, path, secure, now) {
+			cc := c
+			out = append(out, &cc)
 		}
-		if c.Secure && !secure {
-			continue
-		}
-		if c.HostOnly {
-			if h != c.Domain {
-				continue
-			}
-		} else if !domainMatch(h, c.Domain) {
-			continue
-		}
-		if !pathMatch(path, c.Path) {
-			continue
-		}
-		out = append(out, c)
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if len(out[a].Path) != len(out[b].Path) {
-			return len(out[a].Path) > len(out[b].Path)
-		}
-		if out[a].Name != out[b].Name {
-			return out[a].Name < out[b].Name
-		}
-		return out[a].Domain < out[b].Domain
-	})
+	sort.Slice(out, func(a, b int) bool { return sendOrder(out[a], out[b]) })
 	return out
 }
 
-// All returns every live cookie in the jar, deterministically ordered.
+// AppendCookieHeader appends the Cookie header value for a request to
+// host+path — "name1=v1; name2=v2" in the same deterministic order as
+// CookiesFor — onto dst and returns it. An empty jar (the stateless
+// landscape crawl's steady state) and a reused dst make the whole call
+// allocation-free; the emulated browser's request scratch path builds
+// its Cookie header here instead of materializing a []*Cookie per
+// request.
+func (j *Jar) AppendCookieHeader(dst []byte, host, path string, secure bool) []byte {
+	if path == "" {
+		path = "/"
+	}
+	h := canonicalHost(host)
+	now := j.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.cookies) == 0 {
+		return dst
+	}
+	j.scratch = j.scratch[:0]
+	for _, c := range j.cookies {
+		if c.sendable(h, path, secure, now) {
+			j.scratch = append(j.scratch, c)
+		}
+	}
+	// slices.SortFunc, not sort.Slice: the reflection-based swapper
+	// would allocate on every cookied request.
+	slices.SortFunc(j.scratch, func(a, b Cookie) int {
+		if d := len(b.Path) - len(a.Path); d != 0 {
+			return d
+		}
+		if c := strings.Compare(a.Name, b.Name); c != 0 {
+			return c
+		}
+		return strings.Compare(a.Domain, b.Domain)
+	})
+	for i := range j.scratch {
+		if i > 0 {
+			dst = append(dst, "; "...)
+		}
+		dst = append(dst, j.scratch[i].Name...)
+		dst = append(dst, '=')
+		dst = append(dst, j.scratch[i].Value...)
+	}
+	return dst
+}
+
+// All returns copies of every live cookie in the jar, deterministically
+// ordered.
 func (j *Jar) All() []*Cookie {
 	now := j.Now()
 	j.mu.Lock()
@@ -235,7 +317,8 @@ func (j *Jar) All() []*Cookie {
 	var out []*Cookie
 	for _, c := range j.cookies {
 		if !c.Expired(now) {
-			out = append(out, c)
+			cc := c
+			out = append(out, &cc)
 		}
 	}
 	sort.Slice(out, func(a, b int) bool {

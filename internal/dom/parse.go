@@ -35,13 +35,41 @@ func ParseFragment(src string) *Node {
 }
 
 // parserPool recycles parser state — token stacks, the embedded
-// tokenizer, and the tail of the current node arena — across the
-// millions of page parses of a full campaign. Nothing handed out to a
-// document is ever reused: arenas are consumed, never rewound.
+// tokenizer, and the tail of the current node arena — for callers of
+// the package-level Parse/ParseFragment functions. Nothing handed out
+// to a document is ever reused: arenas are consumed, never rewound.
+// Worker-affine callers (the emulated browser) hold their own Parser
+// instead, so their arenas never bounce between cores through here.
 var parserPool = sync.Pool{New: func() any { return new(parser) }}
 
 func pooledParse(src string, fragment bool) *Node {
 	p := parserPool.Get().(*parser)
+	doc := p.parse(src, fragment)
+	parserPool.Put(p)
+	return doc
+}
+
+// Parser is a reusable HTML parser owning its token stacks, tokenizer
+// and node-arena tail. It is NOT safe for concurrent use: it exists so
+// a single-goroutine session (one crawl worker's browser) can keep its
+// parse state core-local across visits instead of round-tripping it
+// through the global pool on every page. Produced trees are identical
+// to the package-level Parse/ParseFragment results.
+type Parser struct {
+	p parser
+}
+
+// NewParser returns an empty reusable parser.
+func NewParser() *Parser { return &Parser{} }
+
+// Parse is Parse using this parser's recycled state.
+func (ps *Parser) Parse(src string) *Node { return ps.p.parse(src, false) }
+
+// ParseFragment is ParseFragment using this parser's recycled state.
+func (ps *Parser) ParseFragment(src string) *Node { return ps.p.parse(src, true) }
+
+// parse runs one full parse and resets the parser's reusable state.
+func (p *parser) parse(src string, fragment bool) *Node {
 	p.fragment = fragment
 	p.doc = p.newNode()
 	p.doc.Type = DocumentNode
@@ -58,7 +86,7 @@ func pooledParse(src string, fragment bool) *Node {
 		p.ensureScaffold()
 	}
 	doc := p.doc
-	p.release()
+	p.reset()
 	return doc
 }
 
@@ -99,18 +127,17 @@ func (p *parser) newElement(tag string, attrs []htmlx.Attribute) *Node {
 	return n
 }
 
-// release returns the parser to the pool. Stacks are cleared so pooled
-// parsers do not pin finished documents; the arena tail is kept — its
-// handed-out prefix belongs to the returned tree, the rest feeds the
-// next parse.
-func (p *parser) release() {
+// reset clears the parser for its next parse. Stacks are cleared so an
+// idle parser does not pin finished documents; the arena tail is kept —
+// its handed-out prefix belongs to the returned tree, the rest feeds
+// the next parse.
+func (p *parser) reset() {
 	clear(p.stack)
 	p.stack = p.stack[:0]
 	clear(p.shadowStack)
 	p.shadowStack = p.shadowStack[:0]
 	p.doc = nil
 	p.z.Reset("")
-	parserPool.Put(p)
 }
 
 func (p *parser) top() *Node { return p.stack[len(p.stack)-1] }

@@ -1,0 +1,36 @@
+package hostgate
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkGateContention measures the breaker-only admission cycle
+// (Admit + Report, the per-request gate traffic of a resilient crawl)
+// with every P hitting the gate at once across a realistic host
+// spread. Run with -cpu 1,4: per-host state carries its own lock, so
+// only the hosts-map lookup is shared and scaling should be close to
+// linear.
+func BenchmarkGateContention(b *testing.B) {
+	g := New(Config{BreakerThreshold: 1 << 30, BreakerCooldown: time.Hour})
+	const hosts = 1024
+	names := make([]string, hosts)
+	for i := range names {
+		names[i] = fmt.Sprintf("site-%04d.example", i)
+		g.host(names[i]) // pre-populate: steady state, no map growth
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h := names[i%hosts]
+			if err := g.Admit(h); err != nil {
+				b.Fatal(err)
+			}
+			g.Report(h, false)
+			i++
+		}
+	})
+}

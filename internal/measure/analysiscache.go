@@ -51,6 +51,10 @@ const (
 type analysisShard struct {
 	mu sync.Mutex
 	m  map[uint64]*analysisEntry
+	// _ pads the shard to a full 64-byte cache line (Mutex 8 + map
+	// header 8 = 16), so neighbouring shards' locks never false-share a
+	// line across workers memoizing different fingerprints.
+	_ [48]byte
 }
 
 // analysisEntry is one fingerprint's singleflight slot. a and failed

@@ -65,3 +65,31 @@ func BenchmarkAnalyzeMemo(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkAnalysisCacheContention measures concurrent warm-memo
+// lookups spread across many fingerprints — what every worker of a
+// parallel campaign does for the 2nd..8th vantage point of each site.
+// Run with -cpu 1,4: the shards are padded to distinct cache lines, so
+// added Ps should add throughput, not lock convoys.
+func BenchmarkAnalysisCacheContention(b *testing.B) {
+	var c analysisCache
+	const keys = 4096
+	for i := 0; i < keys; i++ {
+		c.get(uint64(i), func() core.Analysis { return core.Analysis{Kind: core.KindRegular} })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			a := c.get(uint64(i%keys), func() core.Analysis {
+				b.Fatal("warm lookup ran compute")
+				return core.Analysis{}
+			})
+			if a.Kind != core.KindRegular {
+				b.Fatal("wrong cached analysis")
+			}
+			i++
+		}
+	})
+}

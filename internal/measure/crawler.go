@@ -160,20 +160,44 @@ func runExperimentCampaign[R any](ctx context.Context, c *Crawler, label string,
 }
 
 // browserPool recycles emulated-browser sessions — and their cookie-jar
-// maps — across the millions of visits of a full campaign. Every
-// acquire resets the session to a fresh profile, so reuse is invisible
-// to the measurement.
+// maps, request scratch and parser arenas — for visits running OUTSIDE
+// a campaign worker (direct Visit calls, tests). Campaign visits use
+// the worker's Affinity slot instead: each worker goroutine keeps one
+// session pinned for its whole lifetime, so session state never
+// bounces between cores through a global pool on the crawl hot path.
+// Every acquire resets the session to a fresh profile, so reuse is
+// invisible to the measurement either way.
 var browserPool = sync.Pool{New: func() any { return new(browser.Browser) }}
 
-// acquireBrowser returns a fresh-profile session for one visit; release
-// it with releaseBrowser when no page state is needed anymore.
-func (c *Crawler) acquireBrowser(vp vantage.VP) *browser.Browser {
-	b := browserPool.Get().(*browser.Browser)
+// acquireBrowser returns a fresh-profile session for one visit — the
+// campaign worker's affine session when ctx carries one, the global
+// pool's otherwise. Release it with releaseBrowser (passing the same
+// affinity slot) when no page state is needed anymore.
+func (c *Crawler) acquireBrowser(ctx context.Context, vp vantage.VP) (*browser.Browser, *campaign.Affinity) {
+	aff := campaign.AffinityFrom(ctx)
+	var b *browser.Browser
+	if aff != nil {
+		// Take empties the slot, so a (hypothetical) nested acquire on
+		// the same worker falls through to a fresh session instead of
+		// aliasing this one.
+		b, _ = aff.Take().(*browser.Browser)
+		if b == nil {
+			b = new(browser.Browser)
+		}
+	} else {
+		b = browserPool.Get().(*browser.Browser)
+	}
 	b.Reset(c.Transport, vp)
-	return b
+	return b, aff
 }
 
-func releaseBrowser(b *browser.Browser) { browserPool.Put(b) }
+func releaseBrowser(b *browser.Browser, aff *campaign.Affinity) {
+	if aff != nil {
+		aff.Put(b)
+		return
+	}
+	browserPool.Put(b)
+}
 
 // session returns a fresh-profile browser armed with the crawler's
 // resilience policy (visit deadline, retries, host gate, and the
@@ -182,8 +206,8 @@ func releaseBrowser(b *browser.Browser) { browserPool.Put(b) }
 // releaseBrowser) when the visit is done. With no policy configured
 // it degenerates to acquireBrowser: the zero-Resilience browser pays
 // nothing.
-func (c *Crawler) session(ctx context.Context, vp vantage.VP) (*browser.Browser, context.CancelFunc) {
-	b := c.acquireBrowser(vp)
+func (c *Crawler) session(ctx context.Context, vp vantage.VP) (*browser.Browser, *campaign.Affinity, context.CancelFunc) {
+	b, aff := c.acquireBrowser(ctx, vp)
 	var cancel context.CancelFunc
 	if c.VisitTimeout > 0 {
 		if ctx == nil {
@@ -204,7 +228,7 @@ func (c *Crawler) session(ctx context.Context, vp vantage.VP) (*browser.Browser,
 			}
 		}
 	}
-	return b, cancel
+	return b, aff, cancel
 }
 
 // Observation is the per-site outcome of one measurement visit.
@@ -288,14 +312,14 @@ type VisitOpts struct {
 // waiting on the same fingerprint re-claim and recompute.
 func (c *Crawler) Visit(ctx context.Context, vp vantage.VP, domain string, opts VisitOpts) Observation {
 	obs := Observation{Domain: domain, VP: vp.Name}
-	b, cancel := c.session(ctx, vp)
-	defer releaseBrowser(b)
+	b, aff, cancel := c.session(ctx, vp)
+	defer releaseBrowser(b, aff)
 	if cancel != nil {
 		defer cancel()
 	}
 	b.Visit = opts.Visit
 	b.Blocker = opts.Blocker
-	fr, err := b.FetchTop("https://" + domain + "/")
+	fr, err := b.FetchTopDomain(domain)
 	if err != nil {
 		obs.Err = err.Error()
 		return obs
@@ -497,8 +521,8 @@ func (c *Crawler) MeasureCookies(ctx context.Context, vp vantage.VP, label strin
 }
 
 func (c *Crawler) cookieVisit(ctx context.Context, vp vantage.VP, domain string, rep int, mode InteractionMode, smpToken string) (cookies.Tally, error) {
-	b, cancel := c.session(ctx, vp)
-	defer releaseBrowser(b)
+	b, aff, cancel := c.session(ctx, vp)
+	defer releaseBrowser(b, aff)
 	if cancel != nil {
 		defer cancel()
 	}

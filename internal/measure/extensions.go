@@ -40,8 +40,8 @@ func (c *Crawler) RunAblation(ctx context.Context, vp vantage.VP, wallDomains []
 	var a Ablation
 	_, err := runExperimentCampaign(ctx, c, LabelAblation, ablationCodec{}, wallDomains,
 		func(ctx context.Context, domain string) (ablationCounts, error) {
-			b, cancel := c.session(ctx, vp)
-			defer releaseBrowser(b)
+			b, aff, cancel := c.session(ctx, vp)
+			defer releaseBrowser(b, aff)
 			if cancel != nil {
 				defer cancel()
 			}
@@ -111,8 +111,8 @@ func (c *Crawler) RunAutoReject(ctx context.Context, vp vantage.VP, domains []st
 	var a AutoReject
 	_, err := runExperimentCampaign(ctx, c, LabelAutoReject, autoRejectCodec{}, domains,
 		func(ctx context.Context, domain string) (rejectOutcome, error) {
-			b, cancel := c.session(ctx, vp)
-			defer releaseBrowser(b)
+			b, aff, cancel := c.session(ctx, vp)
+			defer releaseBrowser(b, aff)
 			if cancel != nil {
 				defer cancel()
 			}
@@ -179,8 +179,8 @@ func (c *Crawler) RunBotCheck(ctx context.Context, vp vantage.VP, domains []stri
 	_, err := runExperimentCampaign(ctx, c, LabelBotCheck, botCheckCodec{}, domains,
 		func(ctx context.Context, domain string) (botPair, error) {
 			showsBanner := func(ua string) bool {
-				b, cancel := c.session(ctx, vp)
-				defer releaseBrowser(b)
+				b, aff, cancel := c.session(ctx, vp)
+				defer releaseBrowser(b, aff)
 				if cancel != nil {
 					defer cancel()
 				}
@@ -241,8 +241,8 @@ func (c *Crawler) RunRevocation(ctx context.Context, vp vantage.VP, domains []st
 	var r Revocation
 	_, err := runExperimentCampaign(ctx, c, LabelRevocation, revocationCodec{}, domains,
 		func(ctx context.Context, domain string) (revOutcome, error) {
-			b, cancel := c.session(ctx, vp)
-			defer releaseBrowser(b)
+			b, aff, cancel := c.session(ctx, vp)
+			defer releaseBrowser(b, aff)
 			if cancel != nil {
 				defer cancel()
 			}

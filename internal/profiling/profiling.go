@@ -1,0 +1,76 @@
+// Package profiling wires the standard pprof CPU/heap profile capture
+// into the long-running binaries (cmd/cookiewalk, cmd/trendd), with
+// one twist the stock idiom lacks: Stop is a package-level, idempotent
+// flush, so exit paths that bypass deferred calls — the daemons'
+// signal handlers end in os.Exit(3) — can still land complete,
+// readable profiles before the process dies. A truncated CPU profile
+// is worse than none: pprof refuses the file and the whole run's
+// evidence is gone.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+var (
+	mu      sync.Mutex
+	cpuFile *os.File
+	memPath string
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and arms a
+// heap-profile write to memPath (when non-empty) for the next Stop.
+// Either path may be empty independently; both empty makes Start and
+// Stop no-ops.
+func Start(cpuPath, memPathArg string) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("profiling: %w", err)
+		}
+		cpuFile = f
+	}
+	memPath = memPathArg
+	return nil
+}
+
+// Stop flushes and closes everything Start armed: it stops the CPU
+// profile and writes the heap profile (after a GC, so the numbers
+// describe live memory, not garbage awaiting collection). Safe to call
+// any number of times from any exit path; only the first call acts.
+func Stop() {
+	mu.Lock()
+	defer mu.Unlock()
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "profiling: cpu profile:", err)
+		}
+		cpuFile = nil
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "profiling: heap profile:", err)
+		} else {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling: heap profile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling: heap profile:", err)
+			}
+		}
+		memPath = ""
+	}
+}

@@ -45,3 +45,29 @@ func BenchmarkRenderSitePage(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkRenderCacheContention hammers a warm render cache from
+// every P at once — the landscape crawl's steady state, where all
+// workers read memoized pages concurrently. Run with -cpu 1,4 to see
+// the scaling: the shards are RLock-only and padded to distinct cache
+// lines, so throughput should grow near-linearly with P.
+func BenchmarkRenderCacheContention(b *testing.B) {
+	farm := New(testReg)
+	sts := benchStates(testReg.CookiewallSites())
+	for _, st := range sts { // warm every key
+		if farm.renderSitePage(st).body == "" {
+			b.Fatal("empty render")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if farm.renderSitePage(sts[i%len(sts)]).body == "" {
+				b.Fatal("empty render")
+			}
+			i++
+		}
+	})
+}

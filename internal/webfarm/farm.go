@@ -285,6 +285,15 @@ func (f *Farm) handleSMPLogin(w http.ResponseWriter, r *http.Request, s *synthwe
 	w.WriteHeader(http.StatusSeeOther)
 }
 
+// headerAdopter is implemented by the in-process transport's recorder:
+// a handler whose complete response header is memoized (the page
+// handler's, cached alongside its render) hands the shared header over
+// wholesale instead of rebuilding it Add-by-Add per request. Adopted
+// headers are shared across requests and must never be mutated.
+type headerAdopter interface {
+	AdoptHeader(h http.Header)
+}
+
 func (f *Farm) handlePage(w http.ResponseWriter, r *http.Request, s *synthweb.Site) {
 	st := pageState{
 		site:   s,
@@ -302,11 +311,29 @@ func (f *Farm) handlePage(w http.ResponseWriter, r *http.Request, s *synthweb.Si
 		}
 	}
 
-	// First-party cookies for this state.
-	f.setFirstPartyCookies(w, st)
+	// The page's full response header — first-party Set-Cookie values
+	// and Content-Type — is a pure function of the render key, cached
+	// with the render itself: the in-process recorder adopts it shared,
+	// plain writers (httptest, the real listener) get a copy.
+	page := f.renderSitePage(st)
+	if a, ok := w.(headerAdopter); ok {
+		a.AdoptHeader(page.header)
+	} else {
+		dst := w.Header()
+		for k, vs := range page.header {
+			dst[k] = append(dst[k], vs...)
+		}
+	}
+	writeRender(w, page)
+}
 
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	writeRender(w, f.renderSitePage(st))
+// pageHeader builds the complete response header for a page render —
+// the memoized counterpart of what setFirstPartyCookies plus the
+// Content-Type Set used to assemble per request.
+func (f *Farm) pageHeader(st pageState) http.Header {
+	h := http.Header{"Content-Type": {"text/html; charset=utf-8"}}
+	f.setFirstPartyCookies(h, st)
+	return h
 }
 
 // fpCookieVals precomputes the full Set-Cookie values for the indexed
@@ -326,15 +353,15 @@ var fpCookieVals = func() map[string][]string {
 
 // setFirstPartyCookies emits the Set-Cookie headers that realize the
 // site's first-party profile for the current state.
-func (f *Farm) setFirstPartyCookies(w http.ResponseWriter, st pageState) {
+func (f *Farm) setFirstPartyCookies(h http.Header, st pageState) {
 	s := st.site
 	set := func(prefix string, i int) {
 		vals := fpCookieVals[prefix]
 		if i < len(vals) {
-			w.Header().Add("Set-Cookie", vals[i])
+			h.Add("Set-Cookie", vals[i])
 			return
 		}
-		w.Header().Add("Set-Cookie",
+		h.Add("Set-Cookie",
 			fmt.Sprintf("%s_%02d=1; Path=/; Max-Age=604800", prefix, i))
 	}
 	for i := 0; i < s.Cookies.PreConsentFP; i++ {

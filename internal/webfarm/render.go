@@ -40,16 +40,47 @@ func (st pageState) showBanner() bool {
 	return st.site.ShowsBannerTo(st.vpName)
 }
 
+// botMarkers are the automation substrings of the farm's naive crawler
+// fingerprint, matched case-insensitively.
+var botMarkers = []string{"bot", "crawl", "spider", "headless", "measurement", "cookiewalk"}
+
 // looksLikeBot is the farm's naive crawler fingerprint: empty UA or
 // one containing the usual automation markers. OpenWPM mitigates this
 // in the paper; our emulated browser can impersonate either side.
+// Matching scans in place — strings.ToLower on every page request's UA
+// was a per-visit allocation for nothing (the markers are ASCII).
 func looksLikeBot(ua string) bool {
 	if ua == "" {
 		return true
 	}
-	l := strings.ToLower(ua)
-	for _, marker := range []string{"bot", "crawl", "spider", "headless", "measurement", "cookiewalk"} {
-		if strings.Contains(l, marker) {
+	for _, marker := range botMarkers {
+		if containsFold(ua, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsFold reports whether s contains substr under ASCII
+// case-folding. substr must be lower-case ASCII (the bot markers are).
+func containsFold(s, substr string) bool {
+	n := len(substr)
+	if n == 0 {
+		return true
+	}
+	for i := 0; i+n <= len(s); i++ {
+		j := 0
+		for j < n {
+			c := s[i+j]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != substr[j] {
+				break
+			}
+			j++
+		}
+		if j == n {
 			return true
 		}
 	}
@@ -81,7 +112,7 @@ func (f *Farm) renderSitePage(st pageState) render {
 	if page, ok := f.renders.get(key); ok {
 		return page
 	}
-	return f.renders.put(key, f.renderSitePageUncached(st))
+	return f.renders.put(key, f.renderSitePageUncached(st), f.pageHeader(st))
 }
 
 func (f *Farm) renderSitePageUncached(st pageState) string {
@@ -208,7 +239,7 @@ func (f *Farm) bannerFragment(s *synthweb.Site, providerHost string) render {
 	if frag, ok := f.renders.get(key); ok {
 		return frag
 	}
-	return f.renders.put(key, f.bannerFragmentUncached(s, providerHost))
+	return f.renders.put(key, f.bannerFragmentUncached(s, providerHost), nil)
 }
 
 func (f *Farm) bannerFragmentUncached(s *synthweb.Site, providerHost string) string {
@@ -241,7 +272,7 @@ func (f *Farm) bannerDocument(s *synthweb.Site) render {
 	if doc, ok := f.renders.get(key); ok {
 		return doc
 	}
-	return f.renders.put(key, f.bannerDocumentUncached(s))
+	return f.renders.put(key, f.bannerDocumentUncached(s), nil)
 }
 
 func (f *Farm) bannerDocumentUncached(s *synthweb.Site) string {

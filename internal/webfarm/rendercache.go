@@ -1,6 +1,7 @@
 package webfarm
 
 import (
+	"net/http"
 	"sync"
 
 	"cookiewalk/internal/xrand"
@@ -41,6 +42,10 @@ const (
 type renderShard struct {
 	mu sync.RWMutex
 	m  map[renderKey]render
+	// _ pads the shard to a full 64-byte cache line (RWMutex 24 + map
+	// header 8 = 32), so adjacent shards' locks never false-share a line
+	// when different workers hammer neighbouring shards.
+	_ [32]byte
 }
 
 // render is one cached rendered document.
@@ -52,6 +57,14 @@ type render struct {
 	// real-listener HTTP client hashing what it downloaded — arrives at
 	// the same value.
 	fp uint64
+	// header is the complete, SHARED response header for page renders
+	// (Content-Type plus the state's first-party Set-Cookie values) —
+	// like the body, a pure function of the render key, built once and
+	// adopted read-only by the in-process transport's recorder on every
+	// repeat request. nil for fragment/banner-document renders, whose
+	// handlers set their one Content-Type themselves. Consumers must
+	// never mutate it.
+	header http.Header
 }
 
 // bodyHash is the canonical content hash shared by the render cache,
@@ -104,10 +117,11 @@ func (c *renderCache) get(k renderKey) (render, bool) {
 	return v, ok
 }
 
-// put stores a freshly rendered body and returns the entry with its
-// memoized content fingerprint.
-func (c *renderCache) put(k renderKey, body string) render {
-	v := render{body: body, fp: bodyHash(body)}
+// put stores a freshly rendered body (and, for page renders, its
+// prebuilt response header) and returns the entry with its memoized
+// content fingerprint.
+func (c *renderCache) put(k renderKey, body string, header http.Header) render {
+	v := render{body: body, fp: bodyHash(body), header: header}
 	s := c.shard(k)
 	s.mu.Lock()
 	if s.m == nil || len(s.m) >= renderShardMax {

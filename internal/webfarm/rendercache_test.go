@@ -141,7 +141,7 @@ func TestRenderCacheKeyCoversJitter(t *testing.T) {
 	// the same cache entry and the same bytes.
 	p0 := farm.renderSitePage(pageState{site: site, vpName: "Germany"})
 	p1 := farm.renderSitePage(pageState{site: site, vpName: "Germany", visit: "Germany|1|accept"})
-	if p0 != p1 {
+	if p0.body != p1.body || p0.fp != p1.fp {
 		t.Fatalf("%s: pre-consent render depends on visit label", site.Domain)
 	}
 }
@@ -201,7 +201,7 @@ func TestRenderCacheBounded(t *testing.T) {
 	var c renderCache
 	for i := 0; i < 3*renderShardMax; i++ {
 		k := renderKey{domain: fmt.Sprintf("site-%06d.example", i), kind: kindPage}
-		c.put(k, k.domain)
+		c.put(k, k.domain, nil)
 	}
 	for i := range c.shards {
 		if n := len(c.shards[i].m); n > renderShardMax {
@@ -210,7 +210,7 @@ func TestRenderCacheBounded(t *testing.T) {
 	}
 	// Entries written after a reset are still served, fingerprint intact.
 	k := renderKey{domain: "after-reset.example", kind: kindPage}
-	c.put(k, "page")
+	c.put(k, "page", nil)
 	if v, ok := c.get(k); !ok || v.body != "page" || v.fp != bodyHash("page") {
 		t.Fatal("cache lost an entry written after overflow reset")
 	}

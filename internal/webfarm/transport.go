@@ -95,9 +95,14 @@ func (t *inProcessTransport) RoundTripBody(req *http.Request) (status int, heade
 // the render cache) hand the string through without any copy.
 type fastRecorder struct {
 	header http.Header
-	code   int
-	str    string // body when captured from a single WriteString
-	buf    []byte // accumulation fallback
+	// adopted marks header as a SHARED map handed over by AdoptHeader —
+	// owned by the farm's render cache, served to every request hitting
+	// the same render. Header() clones it before exposing it for
+	// mutation; the response path only ever reads it.
+	adopted bool
+	code    int
+	str     string // body when captured from a single WriteString
+	buf     []byte // accumulation fallback
 	// tag is the body's memoized content fingerprint, set via TagBody
 	// by handlers serving cached renders. Any write after the tag
 	// invalidates it: the tag must describe the complete body.
@@ -109,8 +114,23 @@ type fastRecorder struct {
 // cached render the handler just wrote).
 func (r *fastRecorder) TagBody(fp uint64) { r.tag = fp }
 
-// Header implements http.ResponseWriter.
+// AdoptHeader implements the farm's headerAdopter: the complete
+// response header arrives as one shared, read-only map — zero Add
+// calls, zero per-request header allocation. RoundTripBody returns it
+// directly; the emulated browser only reads response headers.
+func (r *fastRecorder) AdoptHeader(h http.Header) {
+	r.header = h
+	r.adopted = h != nil
+}
+
+// Header implements http.ResponseWriter. An adopted (shared) header is
+// deep-cloned on first access: Header() callers expect a map they may
+// mutate, and the shared original must stay frozen.
 func (r *fastRecorder) Header() http.Header {
+	if r.adopted {
+		r.header = r.header.Clone()
+		r.adopted = false
+	}
 	if r.header == nil {
 		r.header = make(http.Header, 4)
 	}
